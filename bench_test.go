@@ -1,0 +1,501 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation, each printing the paper-shaped rows it regenerates (once),
+// plus ablation benchmarks for the design choices DESIGN.md calls out.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem .
+package doscope_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"doscope/internal/amppot"
+	"doscope/internal/attack"
+	"doscope/internal/core"
+	"doscope/internal/dossim"
+	"doscope/internal/ipmeta"
+	"doscope/internal/netx"
+	"doscope/internal/packet"
+	"doscope/internal/report"
+	"doscope/internal/telescope"
+)
+
+// benchScale reproduces the paper at 1/1000: ≈20.9k attack events and
+// 210k Web sites over the real 731-day window.
+const benchScale = 0.001
+
+var (
+	benchOnce sync.Once
+	benchSc   *dossim.Scenario
+	benchErr  error
+)
+
+func benchScenario(b *testing.B) *dossim.Scenario {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchSc, benchErr = dossim.Generate(dossim.Config{Seed: 42, Scale: benchScale})
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchSc
+}
+
+func freshDataset(b *testing.B) *core.Dataset {
+	sc := benchScenario(b)
+	return core.New(sc.Telescope, sc.Honeypot, sc.Plan, sc.History, sc.Cfg.WindowDays)
+}
+
+// printOnce emits the regenerated rows exactly once per bench target.
+var printedSections sync.Map
+
+func printOnce(key, text string) {
+	if _, loaded := printedSections.LoadOrStore(key, true); !loaded {
+		fmt.Printf("\n===== %s (scale %g) =====\n%s", key, benchScale, text)
+	}
+}
+
+func BenchmarkTable1AttackEvents(b *testing.B) {
+	ds := freshDataset(b)
+	printOnce("Table 1", report.Table1(ds.Table1()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ds := freshDataset(b)
+		_ = ds.Table1()
+	}
+}
+
+func BenchmarkTable2DNSDataset(b *testing.B) {
+	ds := freshDataset(b)
+	printOnce("Table 2", report.Table2(ds.Table2()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ds.Table2()
+	}
+}
+
+func BenchmarkTable3DPSUse(b *testing.B) {
+	ds := freshDataset(b)
+	printOnce("Table 3", report.Table3(ds.Table3()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ds.Table3()
+	}
+}
+
+func BenchmarkTable4CountryRanking(b *testing.B) {
+	ds := freshDataset(b)
+	printOnce("Table 4", report.Table4("a (telescope)", ds.Table4(attack.SourceTelescope, 5))+
+		report.Table4("b (honeypot)", ds.Table4(attack.SourceHoneypot, 5)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ds.Table4(attack.SourceTelescope, 5)
+		_ = ds.Table4(attack.SourceHoneypot, 5)
+	}
+}
+
+func BenchmarkTable5IPProtocols(b *testing.B) {
+	ds := freshDataset(b)
+	printOnce("Table 5", report.Mix("Table 5: IP protocol distribution", ds.Table5()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ds.Table5()
+	}
+}
+
+func BenchmarkTable6ReflectionProtocols(b *testing.B) {
+	ds := freshDataset(b)
+	printOnce("Table 6", report.Mix("Table 6: reflection protocol distribution", ds.Table6()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ds.Table6()
+	}
+}
+
+func BenchmarkTable7PortCardinality(b *testing.B) {
+	ds := freshDataset(b)
+	printOnce("Table 7", report.Mix("Table 7: target port cardinality", ds.Table7()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ds.Table7()
+	}
+}
+
+func BenchmarkTable8TargetPorts(b *testing.B) {
+	ds := freshDataset(b)
+	printOnce("Table 8", report.Mix("Table 8a: single-port TCP services", ds.Table8(attack.VectorTCP, 5))+
+		report.Mix("Table 8b: single-port UDP services", ds.Table8(attack.VectorUDP, 5)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ds.Table8(attack.VectorTCP, 5)
+		_ = ds.Table8(attack.VectorUDP, 5)
+	}
+}
+
+func BenchmarkTable9IntensityOverWebsites(b *testing.B) {
+	ds := freshDataset(b)
+	printOnce("Table 9", report.Table9(ds.Table9()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ds := freshDataset(b)
+		_ = ds.Table9()
+	}
+}
+
+func BenchmarkFigure1TimeSeries(b *testing.B) {
+	ds := freshDataset(b)
+	tel, hp, comb := ds.Figure1()
+	printOnce("Figure 1", report.Figure1(tel, hp, comb))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, _ = ds.Figure1()
+	}
+}
+
+func BenchmarkFigure2DurationCDF(b *testing.B) {
+	ds := freshDataset(b)
+	tel, hp := ds.Figure2()
+	printOnce("Figure 2", report.Figure2(tel, hp))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = ds.Figure2()
+	}
+}
+
+func BenchmarkFigure3TelescopeIntensity(b *testing.B) {
+	ds := freshDataset(b)
+	printOnce("Figure 3", report.Figure3(ds.Figure3()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ds.Figure3()
+	}
+}
+
+func BenchmarkFigure4HoneypotIntensity(b *testing.B) {
+	ds := freshDataset(b)
+	printOnce("Figure 4", report.Figure4(ds.Figure4()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ds.Figure4()
+	}
+}
+
+func BenchmarkFigure5HighIntensitySeries(b *testing.B) {
+	ds := freshDataset(b)
+	printOnce("Figure 5", report.Figure5(ds.Figure5()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ds.Figure5()
+	}
+}
+
+func BenchmarkFigure6CoHosting(b *testing.B) {
+	ds := freshDataset(b)
+	printOnce("Figure 6", report.Figure6(ds.Figure6()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ds := freshDataset(b)
+		_ = ds.Figure6()
+	}
+}
+
+func BenchmarkFigure7WebImpactSeries(b *testing.B) {
+	ds := freshDataset(b)
+	printOnce("Figure 7", report.Figure7(ds.Figure7(), ds.WindowDays))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ds := freshDataset(b)
+		_ = ds.Figure7()
+	}
+}
+
+func BenchmarkFigure8Taxonomy(b *testing.B) {
+	ds := freshDataset(b)
+	printOnce("Figure 8", report.Figure8(ds.Figure8()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ds := freshDataset(b)
+		_ = ds.Figure8()
+	}
+}
+
+func BenchmarkFigure9AttackFrequency(b *testing.B) {
+	ds := freshDataset(b)
+	printOnce("Figure 9", report.Figure9(ds.Figure9()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ds.Figure9()
+	}
+}
+
+func BenchmarkFigure10MigrationDelay(b *testing.B) {
+	ds := freshDataset(b)
+	printOnce("Figure 10", report.Figure10(ds.Figure10()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ds.Figure10()
+	}
+}
+
+func BenchmarkFigure11LongAttackMigration(b *testing.B) {
+	ds := freshDataset(b)
+	printOnce("Figure 11", report.Figure11(ds.Figure11()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ds.Figure11()
+	}
+}
+
+func BenchmarkJointAttacks(b *testing.B) {
+	ds := freshDataset(b)
+	printOnce("Joint attacks (§4)", report.Joint(ds.JointAttacks()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ds.JointAttacks()
+	}
+}
+
+func BenchmarkWebImpactAggregates(b *testing.B) {
+	ds := freshDataset(b)
+	printOnce("Web impact (§5)", report.WebImpact(ds.WebImpactStats()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ds := freshDataset(b)
+		_ = ds.WebImpactStats()
+	}
+}
+
+func BenchmarkScenarioGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := dossim.Generate(dossim.Config{Seed: int64(i), Scale: 0.0002}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- ablation benchmarks ------------------------------------------------
+
+// synFlood builds a deterministic, time-sorted backscatter stream:
+// victims each emit a 1 pps SYN/ACK flood of packetsPer packets, with
+// mid-attack lulls of the given lengths inserted at even fractions of the
+// flood (a 150 s lull splits flows under a 60 s timeout but not under the
+// Moore 300 s timeout; a 400 s lull splits both).
+func synFlood(b *testing.B, darknet netx.Prefix, victimNet byte, victims, packetsPer int, lulls []int64) []struct {
+	ts   int64
+	data []byte
+} {
+	b.Helper()
+	rng := rand.New(rand.NewSource(3))
+	var out []struct {
+		ts   int64
+		data []byte
+	}
+	buf := packet.NewSerializeBuffer()
+	opts := packet.SerializeOptions{FixLengths: true, ComputeChecksums: true}
+	for v := 0; v < victims; v++ {
+		victim := netx.AddrFrom4(203, victimNet, byte(v>>8), byte(v))
+		base := attack.WindowStart + int64(v)*5
+		for i := 0; i < packetsPer; i++ {
+			ts := base + int64(i)
+			for li, lull := range lulls {
+				if i > (li+1)*packetsPer/(len(lulls)+1) {
+					ts += lull
+				}
+			}
+			dst := darknet.First() + netx.Addr(rng.Int63n(int64(darknet.NumAddrs())))
+			ip := &packet.IPv4{TTL: 60, Protocol: packet.ProtocolTCP, Src: victim, Dst: dst}
+			tcp := &packet.TCP{SrcPort: 80, DstPort: uint16(2000 + i), Flags: packet.TCPSyn | packet.TCPAck}
+			tcp.SetNetworkLayer(victim, dst)
+			if err := packet.SerializeLayers(buf, opts, ip, tcp); err != nil {
+				b.Fatal(err)
+			}
+			out = append(out, struct {
+				ts   int64
+				data []byte
+			}{ts, append([]byte(nil), buf.Bytes()...)})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ts < out[j].ts })
+	return out
+}
+
+// BenchmarkAblationFlowTimeout shows how the 300s flow timeout (Moore et
+// al.) merges or splits attacks: the same stream (with 400s lulls)
+// classified under different timeouts yields different event counts.
+func BenchmarkAblationFlowTimeout(b *testing.B) {
+	darknet := netx.MustParsePrefix("44.0.0.0/8")
+	stream := synFlood(b, darknet, 0, 50, 400, []int64{150, 400})
+	for _, timeout := range []int64{60, 300, 3600} {
+		timeout := timeout
+		b.Run(fmt.Sprintf("timeout=%ds", timeout), func(b *testing.B) {
+			events := 0
+			for i := 0; i < b.N; i++ {
+				cfg := telescope.DefaultConfig(darknet)
+				cfg.FlowTimeout = timeout
+				c := telescope.New(cfg)
+				for _, p := range stream {
+					c.ProcessPacket(p.ts, p.data)
+				}
+				c.Flush()
+				events = len(c.Events())
+			}
+			b.ReportMetric(float64(events), "events")
+		})
+	}
+}
+
+// BenchmarkAblationMooreThresholds quantifies the low-intensity filter:
+// with the filter off, scan-like flows survive as events.
+func BenchmarkAblationMooreThresholds(b *testing.B) {
+	darknet := netx.MustParsePrefix("44.0.0.0/8")
+	// Mix real floods with sub-threshold dribbles.
+	stream := synFlood(b, darknet, 0, 30, 300, nil)
+	dribble := synFlood(b, darknet, 1, 200, 8, nil)
+	stream = append(stream, dribble...)
+	sort.Slice(stream, func(i, j int) bool { return stream[i].ts < stream[j].ts })
+	for _, disabled := range []bool{false, true} {
+		disabled := disabled
+		name := "filter=on"
+		if disabled {
+			name = "filter=off"
+		}
+		b.Run(name, func(b *testing.B) {
+			events := 0
+			for i := 0; i < b.N; i++ {
+				cfg := telescope.DefaultConfig(darknet)
+				cfg.DisableFilter = disabled
+				c := telescope.New(cfg)
+				for _, p := range stream {
+					c.ProcessPacket(p.ts, p.data)
+				}
+				c.Flush()
+				events = len(c.Events())
+			}
+			b.ReportMetric(float64(events), "events")
+		})
+	}
+}
+
+// BenchmarkAblationLPMTrieVsLinear compares the radix trie against the
+// linear reference on the pfx2as workload of the fusion pipeline.
+func BenchmarkAblationLPMTrieVsLinear(b *testing.B) {
+	plan, err := ipmeta.BuildPlan(ipmeta.PlanConfig{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var linear ipmeta.LinearPfx2AS
+	for i := range plan.ASes {
+		for _, p := range plan.ASes[i].Prefixes {
+			linear.Insert(p, plan.ASes[i].Num)
+		}
+	}
+	rng := rand.New(rand.NewSource(2))
+	addrs := make([]netx.Addr, 4096)
+	for i := range addrs {
+		as := &plan.ASes[rng.Intn(len(plan.ASes))]
+		addrs[i], _ = plan.RandomAddrInAS(rng, as.Num)
+	}
+	b.Run("trie", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			plan.Trie.Lookup(addrs[i%len(addrs)])
+		}
+	})
+	b.Run("linear", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			linear.Lookup(addrs[i%len(addrs)])
+		}
+	})
+}
+
+// BenchmarkAblationEventLevelVsPacketLevel measures the cost of full
+// packet-level fidelity against the event-level fast path at equal scale.
+func BenchmarkAblationEventLevelVsPacketLevel(b *testing.B) {
+	plan, err := ipmeta.BuildPlan(ipmeta.PlanConfig{Seed: 9, NumSixteens: 512, NumActive24: 800})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, packetLevel := range []bool{false, true} {
+		packetLevel := packetLevel
+		name := "event-level"
+		if packetLevel {
+			name = "packet-level"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := dossim.Generate(dossim.Config{
+					Seed: 9, Scale: 1e-5, Plan: plan, PacketLevel: packetLevel,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkHoneypotRequestPath measures the per-request cost of the
+// honeypot hot path (emulator + rate limiter + collector).
+func BenchmarkHoneypotRequestPath(b *testing.B) {
+	fleet := amppot.NewFleet(amppot.DefaultConfig())
+	req := make([]byte, 8)
+	req[0], req[3] = 0x17, 42
+	victim := netx.MustParseAddr("203.0.113.9")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fleet.HandleRequest(i, attack.WindowStart+int64(i/100), victim, attack.VectorNTP, req)
+	}
+}
+
+// BenchmarkMailImpact regenerates the §8 mail-infrastructure extension.
+func BenchmarkMailImpact(b *testing.B) {
+	sc := benchScenario(b)
+	ds := freshDataset(b)
+	ds.MailIdx = sc.Web
+	printOnce("Mail impact (§8 extension)", report.Mail(ds.MailImpactStats()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ds := freshDataset(b)
+		ds.MailIdx = sc.Web
+		_ = ds.MailImpactStats()
+	}
+}
+
+// BenchmarkAblationHoneypotGap shows how the collector's gap timeout
+// merges or splits reflection events: a request stream with 30-minute and
+// 2-hour lulls yields different event counts under different gaps.
+func BenchmarkAblationHoneypotGap(b *testing.B) {
+	victim := netx.MustParseAddr("203.0.113.50")
+	type obs struct{ ts int64 }
+	var stream []obs
+	// Three 200-request bursts separated by 30 min and 2 h.
+	base := attack.WindowStart
+	for burst, offset := range []int64{0, 200 + 1800, 200 + 1800 + 200 + 7200} {
+		for i := int64(0); i < 200; i++ {
+			stream = append(stream, obs{base + offset + i})
+		}
+		_ = burst
+	}
+	for _, gap := range []int64{600, 3600, 4 * 3600} {
+		gap := gap
+		b.Run(fmt.Sprintf("gap=%ds", gap), func(b *testing.B) {
+			events := 0
+			for i := 0; i < b.N; i++ {
+				cfg := amppot.DefaultConfig()
+				cfg.GapTimeout = gap
+				col := amppot.NewCollector(cfg)
+				for _, o := range stream {
+					col.Add(amppot.Observation{Time: o.ts, Victim: victim, Vector: attack.VectorNTP, Bytes: 8})
+				}
+				col.Flush()
+				events = len(col.Events())
+			}
+			b.ReportMetric(float64(events), "events")
+		})
+	}
+}

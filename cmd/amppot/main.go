@@ -1,0 +1,98 @@
+// Command amppot runs AmpPot honeypot instances on real UDP sockets,
+// emulating the eight reflection protocols, rate-limiting replies, and
+// printing extracted attack events as CSV on shutdown (SIGINT) or after
+// -duration.
+//
+// Usage:
+//
+//	amppot [-listen 127.0.0.1] [-protocols NTP,DNS,CharGen] [-base-port 0]
+//	       [-duration 0] [-min-requests 100]
+//
+// With -base-port 0 each protocol listens on its well-known port (needs
+// privileges); otherwise protocol i listens on base-port+i.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"doscope/internal/amppot"
+	"doscope/internal/attack"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", "127.0.0.1", "address to bind")
+		protos   = flag.String("protocols", "NTP,DNS,CharGen,SSDP,RIPv1,QOTD,MSSQL,TFTP", "comma-separated protocol list")
+		basePort = flag.Int("base-port", 0, "0 = well-known ports; otherwise base for sequential ports")
+		duration = flag.Duration("duration", 0, "stop after this long (0 = until SIGINT)")
+		minReq   = flag.Uint64("min-requests", 100, "attack event threshold (requests)")
+	)
+	flag.Parse()
+
+	cfg := amppot.DefaultConfig()
+	cfg.MinRequests = *minReq
+	fleet := amppot.NewFleet(cfg)
+
+	var conns []net.PacketConn
+	i := 0
+	for _, name := range strings.Split(*protos, ",") {
+		name = strings.TrimSpace(name)
+		vec, err := attack.ParseVector(name)
+		if err != nil {
+			fatal(err)
+		}
+		spec, ok := amppot.SpecFor(vec)
+		if !ok {
+			fatal(fmt.Errorf("%s is not a reflection protocol", name))
+		}
+		port := int(spec.Port)
+		if *basePort != 0 {
+			port = *basePort + i
+		}
+		conn, err := net.ListenPacket("udp4", fmt.Sprintf("%s:%d", *listen, port))
+		if err != nil {
+			fatal(err)
+		}
+		conns = append(conns, conn)
+		fmt.Fprintf(os.Stderr, "amppot: %s on %s\n", name, conn.LocalAddr())
+		hp := fleet.Honeypot(i % amppot.FleetSize)
+		go func(vec attack.Vector, conn net.PacketConn) {
+			_ = hp.Serve(conn, vec)
+		}(vec, conn)
+		i++
+	}
+	if len(conns) == 0 {
+		fatal(fmt.Errorf("no protocols to serve"))
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	if *duration > 0 {
+		select {
+		case <-stop:
+		case <-time.After(*duration):
+		}
+	} else {
+		<-stop
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	events := fleet.Flush()
+	fmt.Fprintf(os.Stderr, "amppot: %d attack events\n", len(events))
+	if err := attack.NewStore(events).WriteCSV(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "amppot:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,16 @@
+// Package doscope is a from-scratch Go reproduction of "Millions of
+// Targets Under Attack: a Macroscopic Characterization of the DoS
+// Ecosystem" (Jonker, King, Krupp, Rossow, Sperotto, Dainotti — IMC 2017).
+//
+// The repository builds every system the paper relies on — a network
+// telescope with the Moore et al. backscatter classifier, the AmpPot
+// amplification honeypot fleet, an OpenINTEL-style active DNS measurement
+// platform (with its own RFC 1035 codec and authoritative UDP server), IP
+// geolocation and prefix-to-AS metadata, DPS-use detection — plus a
+// calibrated scenario generator that substitutes for the restricted
+// measurement data, and the fusion framework that reproduces every table
+// and figure of the paper's evaluation.
+//
+// Start with the README, run `go run ./examples/quickstart`, or regenerate
+// the full evaluation with `go test -bench=. .` or `go run ./cmd/doscope`.
+package doscope

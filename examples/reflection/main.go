@@ -1,0 +1,83 @@
+// Reflection: run AmpPot honeypot instances on real loopback UDP sockets,
+// launch an NTP-monlist amplification burst against them, observe the
+// rate limiter suppressing replies, and extract the attack event — the
+// §3.1.2 path over real sockets. Run with:
+//
+//	go run ./examples/reflection
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"doscope/internal/amppot"
+	"doscope/internal/attack"
+)
+
+func main() {
+	cfg := amppot.DefaultConfig()
+	fleet := amppot.NewFleet(cfg)
+
+	// Bind three honeypot instances to loopback ports (in the wild they
+	// would sit on NTP's port 123 across 24 vantage points).
+	const instances = 3
+	var addrs []string
+	for i := 0; i < instances; i++ {
+		conn, err := net.ListenPacket("udp4", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer conn.Close()
+		addrs = append(addrs, conn.LocalAddr().String())
+		go func(hp int) { _ = fleet.Honeypot(hp).Serve(conn, attack.VectorNTP) }(i)
+	}
+	fmt.Printf("%d AmpPot instances on %v\n", instances, addrs)
+
+	// The attacker sprays monlist requests across all reflectors. On
+	// loopback we cannot spoof the victim's source address, so the
+	// honeypots log the attack against this client address — exactly what
+	// AmpPot records for the real (spoofed) victim.
+	monlist := make([]byte, 8)
+	monlist[0] = 0x17 // NTP mode 7 private
+	monlist[3] = 42   // MON_GETLIST_1
+
+	replies, amplifiedBytes := 0, 0
+	const burst = 120 // > the 100-request attack threshold
+	for i := 0; i < burst; i++ {
+		conn, err := net.Dial("udp4", addrs[i%len(addrs)])
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := conn.Write(monlist); err != nil {
+			log.Fatal(err)
+		}
+		_ = conn.(*net.UDPConn).SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+		buf := make([]byte, 65536)
+		if n, err := conn.(*net.UDPConn).Read(buf); err == nil {
+			replies++
+			amplifiedBytes += n
+		}
+		conn.Close()
+	}
+	fmt.Printf("sent %d monlist requests (%d bytes each)\n", burst, len(monlist))
+	fmt.Printf("got %d replies (%d bytes): the <3 pkts/min limiter keeps the honeypot from amplifying\n",
+		replies, amplifiedBytes)
+	if replies > 0 {
+		fmt.Printf("achieved amplification on answered requests: %.0fx\n",
+			float64(amplifiedBytes)/float64(replies*len(monlist)))
+	}
+
+	// Every request was logged regardless; the collector aggregates them
+	// into one attack event per victim and vector.
+	time.Sleep(100 * time.Millisecond)
+	events := fleet.Flush()
+	for _, e := range events {
+		fmt.Printf("attack event: victim=%v vector=%v requests=%d avg %.1f rps\n",
+			e.Target, e.Vector, e.Packets, e.AvgRPS)
+	}
+	if len(events) == 0 {
+		fmt.Println("no attack event (below the >100 request threshold?)")
+	}
+}

@@ -1,0 +1,351 @@
+package amppot
+
+import (
+	"encoding/binary"
+	"net"
+	"testing"
+	"time"
+
+	"doscope/internal/attack"
+	"doscope/internal/netx"
+)
+
+var victim = netx.MustParseAddr("203.0.113.10")
+
+func ntpMonlist() []byte {
+	req := make([]byte, 8)
+	req[0] = 0x17 // version 2, mode 7 (private)
+	req[3] = 42   // MON_GETLIST_1
+	return req
+}
+
+func dnsQuery() []byte {
+	q := make([]byte, 12, 29)
+	binary.BigEndian.PutUint16(q[0:2], 0x1234)
+	binary.BigEndian.PutUint16(q[4:6], 1) // QDCOUNT
+	q = append(q, 7)
+	q = append(q, []byte("example")...)
+	q = append(q, 3)
+	q = append(q, []byte("com")...)
+	q = append(q, 0, 0, 0xff, 0, 1) // QTYPE=ANY QCLASS=IN
+	return q
+}
+
+func TestEmulatorsRespondToValidRequests(t *testing.T) {
+	cases := []struct {
+		vec attack.Vector
+		req []byte
+	}{
+		{attack.VectorQOTD, []byte("hi")},
+		{attack.VectorCharGen, []byte{0}},
+		{attack.VectorDNS, dnsQuery()},
+		{attack.VectorNTP, ntpMonlist()},
+		{attack.VectorSSDP, []byte("M-SEARCH * HTTP/1.1\r\nST: ssdp:all\r\n\r\n")},
+		{attack.VectorMSSQL, []byte{0x02}},
+		{attack.VectorRIPv1, append([]byte{1, 1, 0, 0}, make([]byte, 20)...)},
+		{attack.VectorTFTP, append([]byte{0, 1}, []byte("file\x00octet\x00")...)},
+	}
+	for _, c := range cases {
+		em, ok := NewEmulator(c.vec)
+		if !ok {
+			t.Fatalf("no emulator for %v", c.vec)
+		}
+		resp, ok := em.Respond(c.req)
+		if !ok {
+			t.Errorf("%v rejected valid request", c.vec)
+			continue
+		}
+		amp := float64(len(resp)) / float64(len(c.req))
+		if amp < 2 {
+			t.Errorf("%v amplification = %.1f, want >= 2", c.vec, amp)
+		}
+	}
+}
+
+func TestEmulatorAmplificationFactors(t *testing.T) {
+	// The achieved bandwidth amplification should be in the ballpark of
+	// the published factor (exactly proportional for the filler-based
+	// emulators, below the cap).
+	em, _ := NewEmulator(attack.VectorCharGen)
+	req := []byte{1, 2, 3, 4}
+	resp, _ := em.Respond(req)
+	if got := float64(len(resp)) / float64(len(req)); got < 300 || got > 400 {
+		t.Errorf("CharGen amplification = %.1f, want ~358", got)
+	}
+	em, _ = NewEmulator(attack.VectorNTP)
+	mon := ntpMonlist()
+	resp, _ = em.Respond(mon)
+	if got := float64(len(resp)) / float64(len(mon)); got < 400 || got > 600 {
+		t.Errorf("NTP amplification = %.1f, want ~557", got)
+	}
+}
+
+func TestEmulatorsRejectInvalidRequests(t *testing.T) {
+	cases := []struct {
+		vec attack.Vector
+		req []byte
+	}{
+		{attack.VectorDNS, []byte{1, 2, 3}},                                // too short
+		{attack.VectorDNS, append([]byte{0, 0, 0x80}, make([]byte, 9)...)}, // QR=1
+		{attack.VectorNTP, []byte{0x03}},                                   // too short
+		{attack.VectorSSDP, []byte("GET / HTTP/1.1")},                      // not M-SEARCH
+		{attack.VectorMSSQL, []byte{0x99}},                                 // bad opcode
+		{attack.VectorRIPv1, []byte{2, 1, 0, 0}},                           // response, not request
+		{attack.VectorTFTP, []byte{0, 2, 'x'}},                             // WRQ, and no NUL
+	}
+	for _, c := range cases {
+		em, _ := NewEmulator(c.vec)
+		if _, ok := em.Respond(c.req); ok {
+			t.Errorf("%v accepted invalid request % x", c.vec, c.req)
+		}
+	}
+}
+
+func TestNTPModeThreeGetsSmallReply(t *testing.T) {
+	em, _ := NewEmulator(attack.VectorNTP)
+	req := make([]byte, 48)
+	req[0] = 0x1b // version 3, mode 3 (client)
+	resp, ok := em.Respond(req)
+	if !ok || len(resp) != 48 {
+		t.Errorf("mode-3 reply = %d bytes, ok=%v; want 48", len(resp), ok)
+	}
+}
+
+func TestResponseSizeCapped(t *testing.T) {
+	em, _ := NewEmulator(attack.VectorNTP)
+	big := make([]byte, 4096)
+	big[0], big[3] = 0x17, 42
+	resp, ok := em.Respond(big)
+	if !ok {
+		t.Fatal("rejected")
+	}
+	if len(resp) > maxAmplifiedBytes {
+		t.Errorf("response %d bytes exceeds UDP-safe cap", len(resp))
+	}
+}
+
+func TestSpecLookups(t *testing.T) {
+	s, ok := SpecFor(attack.VectorNTP)
+	if !ok || s.Port != 123 {
+		t.Errorf("SpecFor(NTP) = %+v, %v", s, ok)
+	}
+	s, ok = SpecForPort(19)
+	if !ok || s.Vector != attack.VectorCharGen {
+		t.Errorf("SpecForPort(19) = %+v, %v", s, ok)
+	}
+	if _, ok := SpecFor(attack.VectorTCP); ok {
+		t.Error("SpecFor(TCP) should fail")
+	}
+	if _, ok := SpecForPort(9999); ok {
+		t.Error("SpecForPort(9999) should fail")
+	}
+}
+
+func TestRateLimiterSuppressesReplies(t *testing.T) {
+	h := NewHoneypot(0, "US", DefaultConfig(), nil)
+	ts := attack.WindowStart
+	replies := 0
+	for i := 0; i < 10; i++ {
+		_, reply := h.HandleRequest(ts+int64(i), victim, attack.VectorCharGen, []byte{1})
+		if reply {
+			replies++
+		}
+	}
+	if replies != 2 {
+		t.Errorf("replies in one minute = %d, want 2 (fewer than 3 per minute)", replies)
+	}
+	// A new minute resets the budget.
+	_, reply := h.HandleRequest(ts+60, victim, attack.VectorCharGen, []byte{1})
+	if !reply {
+		t.Error("reply budget did not reset on new minute")
+	}
+}
+
+func TestRateLimiterPerSource(t *testing.T) {
+	h := NewHoneypot(0, "US", DefaultConfig(), nil)
+	ts := attack.WindowStart
+	for i := 0; i < 5; i++ {
+		h.HandleRequest(ts, victim, attack.VectorCharGen, []byte{1})
+	}
+	other := netx.MustParseAddr("198.51.100.1")
+	if _, reply := h.HandleRequest(ts, other, attack.VectorCharGen, []byte{1}); !reply {
+		t.Error("limiter must be per source")
+	}
+}
+
+func TestHoneypotLogsEvenWhenSuppressed(t *testing.T) {
+	var logged int
+	h := NewHoneypot(0, "US", DefaultConfig(), func(o Observation) { logged++ })
+	ts := attack.WindowStart
+	for i := 0; i < 10; i++ {
+		h.HandleRequest(ts, victim, attack.VectorCharGen, []byte{1})
+	}
+	if logged != 10 {
+		t.Errorf("logged = %d, want 10 (requests are logged even unanswered)", logged)
+	}
+}
+
+func TestHoneypotIgnoresInvalidRequests(t *testing.T) {
+	var logged int
+	h := NewHoneypot(0, "US", DefaultConfig(), func(o Observation) { logged++ })
+	if _, reply := h.HandleRequest(attack.WindowStart, victim, attack.VectorDNS, []byte{1}); reply {
+		t.Error("invalid request got a reply")
+	}
+	if logged != 0 {
+		t.Error("invalid request was logged")
+	}
+	if _, reply := h.HandleRequest(attack.WindowStart, victim, attack.VectorTCP, []byte{1}); reply {
+		t.Error("non-reflection vector got a reply")
+	}
+}
+
+func feedCollector(c *Collector, n int, start int64, spacing int64, vec attack.Vector) {
+	for i := 0; i < n; i++ {
+		c.Add(Observation{Time: start + int64(i)*spacing, Victim: victim, Vector: vec, Honeypot: i % FleetSize, Bytes: 8})
+	}
+}
+
+func TestCollectorThreshold(t *testing.T) {
+	c := NewCollector(DefaultConfig())
+	feedCollector(c, 100, attack.WindowStart, 1, attack.VectorNTP) // exactly 100: not >100
+	c.Flush()
+	if len(c.Events()) != 0 {
+		t.Errorf("100-request stream emitted %d events (threshold is >100)", len(c.Events()))
+	}
+	c = NewCollector(DefaultConfig())
+	feedCollector(c, 101, attack.WindowStart, 1, attack.VectorNTP)
+	c.Flush()
+	if len(c.Events()) != 1 {
+		t.Fatalf("101-request stream emitted %d events", len(c.Events()))
+	}
+	e := c.Events()[0]
+	if e.Source != attack.SourceHoneypot || e.Vector != attack.VectorNTP || e.Target != victim {
+		t.Errorf("event = %+v", e)
+	}
+	if e.Packets != 101 {
+		t.Errorf("packets = %d", e.Packets)
+	}
+	if e.AvgRPS < 0.9 || e.AvgRPS > 1.2 {
+		t.Errorf("AvgRPS = %v, want ~1", e.AvgRPS)
+	}
+}
+
+func TestCollectorGapSplits(t *testing.T) {
+	cfg := DefaultConfig()
+	c := NewCollector(cfg)
+	feedCollector(c, 150, attack.WindowStart, 1, attack.VectorDNS)
+	feedCollector(c, 150, attack.WindowStart+150+cfg.GapTimeout+1, 1, attack.VectorDNS)
+	c.Flush()
+	if len(c.Events()) != 2 {
+		t.Errorf("events = %d, want 2 (gap split)", len(c.Events()))
+	}
+}
+
+func TestCollectorSeparatesVectors(t *testing.T) {
+	c := NewCollector(DefaultConfig())
+	feedCollector(c, 150, attack.WindowStart, 1, attack.VectorDNS)
+	feedCollector(c, 150, attack.WindowStart, 1, attack.VectorNTP)
+	c.Flush()
+	if len(c.Events()) != 2 {
+		t.Errorf("events = %d, want 2 (one per vector)", len(c.Events()))
+	}
+}
+
+func TestCollector24hCap(t *testing.T) {
+	cfg := DefaultConfig()
+	c := NewCollector(cfg)
+	// Requests every 10 minutes for 3 days: a continuous stream (gaps stay
+	// under the 1 h timeout) that the 24 h cap must split, with each 24 h
+	// segment carrying 144 > 100 requests.
+	feedCollector(c, 3*144, attack.WindowStart, 600, attack.VectorSSDP)
+	c.Flush()
+	evs := c.Events()
+	if len(evs) < 3 {
+		t.Fatalf("events = %d, want >=3 (24h cap splits the stream)", len(evs))
+	}
+	for _, e := range evs {
+		if e.Duration() > cfg.MaxEventDuration {
+			t.Errorf("event duration %d exceeds 24h cap", e.Duration())
+		}
+	}
+}
+
+func TestCollectorCloseIdle(t *testing.T) {
+	cfg := DefaultConfig()
+	c := NewCollector(cfg)
+	feedCollector(c, 150, attack.WindowStart, 1, attack.VectorNTP)
+	if c.OpenFlows() != 1 {
+		t.Fatalf("open flows = %d", c.OpenFlows())
+	}
+	c.CloseIdle(attack.WindowStart + 150 + cfg.GapTimeout + 1)
+	if c.OpenFlows() != 0 {
+		t.Errorf("idle flow not closed")
+	}
+	if len(c.Events()) != 1 {
+		t.Errorf("events = %d", len(c.Events()))
+	}
+}
+
+func TestFleetEndToEnd(t *testing.T) {
+	f := NewFleet(DefaultConfig())
+	if len(f.Instances) != FleetSize {
+		t.Fatalf("fleet size = %d", len(f.Instances))
+	}
+	req := ntpMonlist()
+	// An attack spraying all reflectors: 10 requests to each of the 24
+	// instances = 240 > 100 threshold.
+	for i := 0; i < 240; i++ {
+		f.HandleRequest(i, attack.WindowStart+int64(i), victim, attack.VectorNTP, req)
+	}
+	evs := f.Flush()
+	if len(evs) != 1 {
+		t.Fatalf("fleet events = %d, want 1 merged event", len(evs))
+	}
+	if evs[0].Packets != 240 {
+		t.Errorf("merged packets = %d", evs[0].Packets)
+	}
+}
+
+func TestLiveUDPHoneypot(t *testing.T) {
+	f := NewFleet(DefaultConfig())
+	h := f.Honeypot(0)
+	conn, err := net.ListenPacket("udp4", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = h.Serve(conn, attack.VectorCharGen)
+	}()
+
+	client, err := net.Dial("udp4", conn.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if _, err := client.Write([]byte{0x00}); err != nil {
+		t.Fatal(err)
+	}
+	_ = client.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 65536)
+	n, err := client.(*net.UDPConn).Read(buf)
+	if err != nil {
+		t.Fatalf("no amplified reply: %v", err)
+	}
+	if n < 100 {
+		t.Errorf("reply only %d bytes; expected amplification", n)
+	}
+	conn.Close()
+	<-done
+
+	// The request must have been logged against the client's address.
+	evs := f.Events()
+	_ = evs // below threshold: no event, but the flow must exist
+	f.mu.Lock()
+	open := f.collector.OpenFlows()
+	f.mu.Unlock()
+	if open != 1 {
+		t.Errorf("open flows after live request = %d, want 1", open)
+	}
+}

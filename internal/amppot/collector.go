@@ -1,0 +1,116 @@
+package amppot
+
+import (
+	"sort"
+
+	"doscope/internal/attack"
+	"doscope/internal/netx"
+)
+
+// Collector merges request observations from all honeypot instances and
+// extracts attack events per (victim, protocol): request streams separated
+// by more than the gap timeout form distinct events, events are capped at
+// 24 hours, and only events exceeding the request threshold are kept.
+type Collector struct {
+	cfg    Config
+	flows  map[flowKey]*reqFlow
+	events []attack.Event
+}
+
+type flowKey struct {
+	victim netx.Addr
+	vector attack.Vector
+}
+
+type reqFlow struct {
+	start, last int64
+	requests    uint64
+	bytes       uint64
+	honeypots   uint32 // bitmap of instance ids (24 instances)
+}
+
+// NewCollector returns a Collector with the given configuration.
+func NewCollector(cfg Config) *Collector {
+	cfg.applyDefaults()
+	return &Collector{cfg: cfg, flows: make(map[flowKey]*reqFlow)}
+}
+
+// Add ingests one observation. Observations must be fed in non-decreasing
+// time order per (victim, vector) key; the fleet guarantees this when
+// simulating, and live capture timestamps are naturally ordered.
+func (c *Collector) Add(o Observation) {
+	key := flowKey{o.Victim, o.Vector}
+	f := c.flows[key]
+	if f != nil {
+		gap := o.Time - f.last
+		if gap > c.cfg.GapTimeout || o.Time-f.start >= c.cfg.MaxEventDuration {
+			c.closeFlow(key, f)
+			f = nil
+		}
+	}
+	if f == nil {
+		f = &reqFlow{start: o.Time}
+		c.flows[key] = f
+	}
+	f.last = o.Time
+	f.requests++
+	f.bytes += uint64(o.Bytes)
+	if o.Honeypot >= 0 && o.Honeypot < 32 {
+		f.honeypots |= 1 << uint(o.Honeypot)
+	}
+}
+
+func (c *Collector) closeFlow(key flowKey, f *reqFlow) {
+	delete(c.flows, key)
+	if !c.cfg.Accept(f.requests) {
+		return
+	}
+	duration := f.last - f.start
+	if duration > c.cfg.MaxEventDuration {
+		duration = c.cfg.MaxEventDuration
+	}
+	den := duration
+	if den < 1 {
+		den = 1
+	}
+	c.events = append(c.events, attack.Event{
+		Source:  attack.SourceHoneypot,
+		Vector:  key.vector,
+		Target:  key.victim,
+		Start:   f.start,
+		End:     f.start + duration,
+		Packets: f.requests,
+		Bytes:   f.bytes,
+		AvgRPS:  float64(f.requests) / float64(den),
+	})
+}
+
+// CloseIdle closes flows idle beyond the gap timeout as of time now.
+func (c *Collector) CloseIdle(now int64) {
+	for key, f := range c.flows {
+		if now-f.last > c.cfg.GapTimeout {
+			c.closeFlow(key, f)
+		}
+	}
+}
+
+// Flush closes all open flows.
+func (c *Collector) Flush() {
+	for key, f := range c.flows {
+		c.closeFlow(key, f)
+	}
+}
+
+// Events returns extracted events sorted by start time.
+func (c *Collector) Events() []attack.Event {
+	sort.SliceStable(c.events, func(i, j int) bool {
+		if c.events[i].Start != c.events[j].Start {
+			return c.events[i].Start < c.events[j].Start
+		}
+		return c.events[i].Target < c.events[j].Target
+	})
+	return c.events
+}
+
+// OpenFlows returns the number of unclosed request flows.
+func (c *Collector) OpenFlows() int { return len(c.flows) }

@@ -1,0 +1,77 @@
+package amppot
+
+import (
+	"sync"
+
+	"doscope/internal/attack"
+	"doscope/internal/netx"
+)
+
+// FleetSize is the number of honeypot instances; Krämer et al. show 24
+// well-placed instances catch most Internet-wide reflection attacks.
+const FleetSize = 24
+
+// fleetCountries places the instances following the paper's footnote 3:
+// 11 in America, 8 in Europe, 4 in Asia and 1 in Australia.
+var fleetCountries = []string{
+	"US", "US", "US", "US", "US", "US", "US", "CA", "CA", "BR", "MX",
+	"DE", "DE", "FR", "GB", "NL", "SE", "IT", "PL",
+	"JP", "SG", "KR", "IN",
+	"AU",
+}
+
+// Fleet is the full honeypot deployment funneling observations into one
+// collector, mirroring the merged honeypots data set.
+type Fleet struct {
+	Instances []*Honeypot
+
+	mu        sync.Mutex
+	collector *Collector
+}
+
+// NewFleet builds the 24-instance deployment.
+func NewFleet(cfg Config) *Fleet {
+	cfg.applyDefaults()
+	f := &Fleet{collector: NewCollector(cfg)}
+	sink := func(o Observation) {
+		f.mu.Lock()
+		f.collector.Add(o)
+		f.mu.Unlock()
+	}
+	for i := 0; i < FleetSize; i++ {
+		f.Instances = append(f.Instances, NewHoneypot(i, fleetCountries[i], cfg, sink))
+	}
+	return f
+}
+
+// Honeypot returns instance i.
+func (f *Fleet) Honeypot(i int) *Honeypot { return f.Instances[i] }
+
+// HandleRequest routes a simulated request to instance (chosen by the
+// caller, e.g. round-robin over the reflector set) and returns whether a
+// reply would be sent.
+func (f *Fleet) HandleRequest(instance int, ts int64, victim netx.Addr, vec attack.Vector, payload []byte) (resp []byte, reply bool) {
+	return f.Instances[instance%len(f.Instances)].HandleRequest(ts, victim, vec, payload)
+}
+
+// Flush closes open flows and returns all extracted attack events.
+func (f *Fleet) Flush() []attack.Event {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.collector.Flush()
+	return f.collector.Events()
+}
+
+// CloseIdle expires idle flows as of now.
+func (f *Fleet) CloseIdle(now int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.collector.CloseIdle(now)
+}
+
+// Events returns events extracted so far without flushing open flows.
+func (f *Fleet) Events() []attack.Event {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.collector.Events()
+}

@@ -1,0 +1,241 @@
+// Package amppot implements the AmpPot honeypot substrate (§3.1.2): a
+// fleet of honeypots that emulate UDP protocols abused for reflection and
+// amplification DoS, log the spoofed requests they receive, rate-limit
+// replies so real attacks are not amplified, and aggregate per-victim
+// request streams into attack events (at least 100 requests, gap-split,
+// capped at 24 hours).
+package amppot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+
+	"doscope/internal/attack"
+)
+
+// ProtocolSpec describes one emulated reflection protocol.
+type ProtocolSpec struct {
+	Vector attack.Vector
+	Port   uint16
+	// Amplification is the paper-era bandwidth amplification factor; the
+	// emulator sizes responses so this factor is actually achieved.
+	Amplification float64
+}
+
+// Protocols lists the eight protocols AmpPot emulates (§3.1.2, footnote 2).
+// Amplification factors follow Rossow's "Amplification Hell" (NDSS 2014).
+var Protocols = []ProtocolSpec{
+	{attack.VectorQOTD, 17, 140.3},
+	{attack.VectorCharGen, 19, 358.8},
+	{attack.VectorDNS, 53, 54.6},
+	{attack.VectorNTP, 123, 556.9},
+	{attack.VectorSSDP, 1900, 30.8},
+	{attack.VectorMSSQL, 1434, 25.0},
+	{attack.VectorRIPv1, 520, 131.2},
+	{attack.VectorTFTP, 69, 60.0},
+}
+
+// SpecFor returns the protocol spec for a vector.
+func SpecFor(v attack.Vector) (ProtocolSpec, bool) {
+	for _, s := range Protocols {
+		if s.Vector == v {
+			return s, true
+		}
+	}
+	return ProtocolSpec{}, false
+}
+
+// SpecForPort returns the protocol spec listening on a UDP port.
+func SpecForPort(port uint16) (ProtocolSpec, bool) {
+	for _, s := range Protocols {
+		if s.Port == port {
+			return s, true
+		}
+	}
+	return ProtocolSpec{}, false
+}
+
+// Emulator parses a request for one protocol and produces an amplified
+// response. Implementations must be safe for concurrent use.
+type Emulator interface {
+	// Respond returns the response payload for a request, or ok=false
+	// when the datagram is not a valid request for this protocol.
+	Respond(req []byte) (resp []byte, ok bool)
+}
+
+// NewEmulator returns the emulator for a vector.
+func NewEmulator(v attack.Vector) (Emulator, bool) {
+	switch v {
+	case attack.VectorQOTD:
+		return qotdEmulator{}, true
+	case attack.VectorCharGen:
+		return chargenEmulator{}, true
+	case attack.VectorDNS:
+		return dnsEmulator{}, true
+	case attack.VectorNTP:
+		return ntpEmulator{}, true
+	case attack.VectorSSDP:
+		return ssdpEmulator{}, true
+	case attack.VectorMSSQL:
+		return mssqlEmulator{}, true
+	case attack.VectorRIPv1:
+		return ripEmulator{}, true
+	case attack.VectorTFTP:
+		return tftpEmulator{}, true
+	}
+	return nil, false
+}
+
+// maxAmplifiedBytes caps a single response so it stays below the UDP
+// payload limit when served over a real socket.
+const maxAmplifiedBytes = 63000
+
+// amplify builds a deterministic filler payload of n bytes (capped).
+func amplify(n int) []byte {
+	if n > maxAmplifiedBytes {
+		n = maxAmplifiedBytes
+	}
+	out := make([]byte, n)
+	const chars = "!\"#$%&'()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ[\\]^_`abcdefg"
+	for i := range out {
+		out[i] = chars[i%len(chars)]
+	}
+	return out
+}
+
+type qotdEmulator struct{}
+
+func (qotdEmulator) Respond(req []byte) ([]byte, bool) {
+	// QOTD answers any datagram (RFC 865).
+	quote := "\"The Internet interprets censorship as damage and routes around it.\" "
+	n := int(140.3 * float64(maxInt(len(req), 1)))
+	resp := bytes.Repeat([]byte(quote), n/len(quote)+1)
+	return resp[:n], true
+}
+
+type chargenEmulator struct{}
+
+func (chargenEmulator) Respond(req []byte) ([]byte, bool) {
+	// CharGen answers any datagram with a character stream (RFC 864).
+	return amplify(int(358.8 * float64(maxInt(len(req), 1)))), true
+}
+
+type dnsEmulator struct{}
+
+func (dnsEmulator) Respond(req []byte) ([]byte, bool) {
+	// Minimal DNS sanity check: 12-byte header, QR=0, QDCOUNT>=1.
+	if len(req) < 12 {
+		return nil, false
+	}
+	if req[2]&0x80 != 0 { // QR bit set: a response, not a query
+		return nil, false
+	}
+	if binary.BigEndian.Uint16(req[4:6]) == 0 {
+		return nil, false
+	}
+	resp := make([]byte, 0, 12+len(req))
+	resp = append(resp, req[0], req[1]) // echo ID
+	resp = append(resp, 0x84, 0x00)     // QR=1, AA=1
+	resp = append(resp, req[4:12]...)   // counts (QDCOUNT preserved)
+	resp = append(resp, req[12:]...)    // echo question section
+	// Pad with "answer" filler achieving the ANY-amplification factor.
+	resp = append(resp, amplify(int(54.6*float64(len(req))))...)
+	return resp, true
+}
+
+type ntpEmulator struct{}
+
+func (ntpEmulator) Respond(req []byte) ([]byte, bool) {
+	// NTP private-mode monlist (mode 7, request code 42) is the abused
+	// vector; plain mode-3 client requests get a normal 48-byte reply.
+	if len(req) < 4 {
+		return nil, false
+	}
+	mode := req[0] & 0x07
+	if mode == 7 && len(req) >= 8 && req[3] == 42 {
+		// The real monlist reply is up to 100 packets of 440 bytes; the
+		// emulator concatenates them into one payload with the same
+		// bandwidth amplification.
+		return amplify(int(556.9 * float64(maxInt(len(req), 8)))), true
+	}
+	if mode == 3 && len(req) >= 48 {
+		resp := make([]byte, 48)
+		resp[0] = req[0]&0xf8 | 4 // mode 4 (server)
+		return resp, true
+	}
+	return nil, false
+}
+
+type ssdpEmulator struct{}
+
+func (ssdpEmulator) Respond(req []byte) ([]byte, bool) {
+	if !strings.HasPrefix(string(req), "M-SEARCH") {
+		return nil, false
+	}
+	head := "HTTP/1.1 200 OK\r\nCACHE-CONTROL: max-age=120\r\nST: upnp:rootdevice\r\nUSN: uuid:doscope-amppot\r\n"
+	body := amplify(int(30.8 * float64(len(req))))
+	return append([]byte(head+"\r\n"), body...), true
+}
+
+type mssqlEmulator struct{}
+
+func (mssqlEmulator) Respond(req []byte) ([]byte, bool) {
+	// MC-SQLR ping: a single 0x02 or 0x03 byte.
+	if len(req) < 1 || (req[0] != 0x02 && req[0] != 0x03) {
+		return nil, false
+	}
+	body := []byte("ServerName;DOSCOPE;InstanceName;MSSQLSERVER;IsClustered;No;Version;12.0.2000.8;tcp;1433;;")
+	resp := make([]byte, 3+len(body)*25)
+	resp[0] = 0x05
+	binary.LittleEndian.PutUint16(resp[1:3], uint16(len(resp)-3))
+	for i := 0; i < 25; i++ {
+		copy(resp[3+i*len(body):], body)
+	}
+	return resp, true
+}
+
+type ripEmulator struct{}
+
+func (ripEmulator) Respond(req []byte) ([]byte, bool) {
+	// RIPv1 request (command 1, version 1).
+	if len(req) < 4 || req[0] != 1 || req[1] != 1 {
+		return nil, false
+	}
+	// Response: command 2, 25 route entries of 20 bytes each.
+	resp := make([]byte, 4+25*20)
+	resp[0], resp[1] = 2, 1
+	for i := 0; i < 25; i++ {
+		entry := resp[4+i*20:]
+		binary.BigEndian.PutUint16(entry[0:2], 2) // AF_INET
+		binary.BigEndian.PutUint32(entry[4:8], uint32(0x0a000000+i<<8))
+		binary.BigEndian.PutUint32(entry[16:20], 1) // metric
+	}
+	return resp, true
+}
+
+type tftpEmulator struct{}
+
+func (tftpEmulator) Respond(req []byte) ([]byte, bool) {
+	// TFTP RRQ (opcode 1): filename, mode as NUL-terminated strings.
+	if len(req) < 4 || binary.BigEndian.Uint16(req[0:2]) != 1 {
+		return nil, false
+	}
+	if bytes.IndexByte(req[2:], 0) < 0 {
+		return nil, false
+	}
+	// DATA block 1 with the amplified payload.
+	body := amplify(int(60 * float64(maxInt(len(req), 8))))
+	resp := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint16(resp[0:2], 3) // DATA
+	binary.BigEndian.PutUint16(resp[2:4], 1) // block 1
+	copy(resp[4:], body)
+	return resp, true
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

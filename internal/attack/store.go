@@ -1,0 +1,287 @@
+package attack
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"doscope/internal/netx"
+)
+
+// Store holds attack events sorted by start time and provides the index
+// structures the fusion pipeline queries.
+type Store struct {
+	events []Event
+	sorted bool
+}
+
+// NewStore builds a store from events (which it copies).
+func NewStore(events []Event) *Store {
+	s := &Store{events: append([]Event(nil), events...)}
+	s.sortEvents()
+	return s
+}
+
+// Add appends an event, invalidating sort order until the next query.
+func (s *Store) Add(e Event) {
+	s.events = append(s.events, e)
+	s.sorted = false
+}
+
+func (s *Store) sortEvents() {
+	sort.SliceStable(s.events, func(i, j int) bool {
+		if s.events[i].Start != s.events[j].Start {
+			return s.events[i].Start < s.events[j].Start
+		}
+		return s.events[i].Target < s.events[j].Target
+	})
+	s.sorted = true
+}
+
+// Events returns the events sorted by start time. The returned slice is
+// owned by the store; callers must not mutate it.
+func (s *Store) Events() []Event {
+	if !s.sorted {
+		s.sortEvents()
+	}
+	return s.events
+}
+
+// Len returns the number of events.
+func (s *Store) Len() int { return len(s.events) }
+
+// ByTarget groups event indices by target address.
+func (s *Store) ByTarget() map[netx.Addr][]int {
+	evs := s.Events()
+	out := make(map[netx.Addr][]int)
+	for i := range evs {
+		out[evs[i].Target] = append(out[evs[i].Target], i)
+	}
+	return out
+}
+
+// UniqueTargets returns the number of distinct target addresses.
+func (s *Store) UniqueTargets() int {
+	seen := make(map[netx.Addr]struct{}, len(s.events))
+	for i := range s.events {
+		seen[s.events[i].Target] = struct{}{}
+	}
+	return len(seen)
+}
+
+// UniqueBlocks returns distinct /24s, /16s given the mask length.
+func (s *Store) UniqueBlocks(maskBits int) int {
+	seen := make(map[netx.Addr]struct{}, len(s.events))
+	for i := range s.events {
+		seen[s.events[i].Target.Mask(maskBits)] = struct{}{}
+	}
+	return len(seen)
+}
+
+// --- CSV persistence -------------------------------------------------
+
+var csvHeader = []string{
+	"source", "vector", "target", "start", "end",
+	"packets", "bytes", "max_pps", "avg_rps", "ports",
+}
+
+// WriteCSV writes the store in a stable text format.
+func (s *Store) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	rec := make([]string, len(csvHeader))
+	for _, e := range s.Events() {
+		rec[0] = e.Source.String()
+		rec[1] = e.Vector.String()
+		rec[2] = e.Target.String()
+		rec[3] = strconv.FormatInt(e.Start, 10)
+		rec[4] = strconv.FormatInt(e.End, 10)
+		rec[5] = strconv.FormatUint(e.Packets, 10)
+		rec[6] = strconv.FormatUint(e.Bytes, 10)
+		rec[7] = strconv.FormatFloat(e.MaxPPS, 'g', -1, 64)
+		rec[8] = strconv.FormatFloat(e.AvgRPS, 'g', -1, 64)
+		ports := ""
+		for i, p := range e.Ports {
+			if i > 0 {
+				ports += ";"
+			}
+			ports += strconv.Itoa(int(p))
+		}
+		rec[9] = ports
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a store written by WriteCSV.
+func ReadCSV(r io.Reader) (*Store, error) {
+	cr := csv.NewReader(r)
+	head, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("attack: reading CSV header: %w", err)
+	}
+	if len(head) != len(csvHeader) || head[0] != "source" {
+		return nil, fmt.Errorf("attack: unexpected CSV header %v", head)
+	}
+	var events []Event
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		var e Event
+		switch rec[0] {
+		case "telescope":
+			e.Source = SourceTelescope
+		case "honeypot":
+			e.Source = SourceHoneypot
+		default:
+			return nil, fmt.Errorf("attack: line %d: bad source %q", line, rec[0])
+		}
+		if e.Vector, err = ParseVector(rec[1]); err != nil {
+			return nil, fmt.Errorf("attack: line %d: %w", line, err)
+		}
+		if e.Target, err = netx.ParseAddr(rec[2]); err != nil {
+			return nil, fmt.Errorf("attack: line %d: %w", line, err)
+		}
+		if e.Start, err = strconv.ParseInt(rec[3], 10, 64); err != nil {
+			return nil, fmt.Errorf("attack: line %d: start: %w", line, err)
+		}
+		if e.End, err = strconv.ParseInt(rec[4], 10, 64); err != nil {
+			return nil, fmt.Errorf("attack: line %d: end: %w", line, err)
+		}
+		if e.Packets, err = strconv.ParseUint(rec[5], 10, 64); err != nil {
+			return nil, fmt.Errorf("attack: line %d: packets: %w", line, err)
+		}
+		if e.Bytes, err = strconv.ParseUint(rec[6], 10, 64); err != nil {
+			return nil, fmt.Errorf("attack: line %d: bytes: %w", line, err)
+		}
+		if e.MaxPPS, err = strconv.ParseFloat(rec[7], 64); err != nil {
+			return nil, fmt.Errorf("attack: line %d: max_pps: %w", line, err)
+		}
+		if e.AvgRPS, err = strconv.ParseFloat(rec[8], 64); err != nil {
+			return nil, fmt.Errorf("attack: line %d: avg_rps: %w", line, err)
+		}
+		if rec[9] != "" {
+			start := 0
+			str := rec[9]
+			for i := 0; i <= len(str); i++ {
+				if i == len(str) || str[i] == ';' {
+					p, err := strconv.ParseUint(str[start:i], 10, 16)
+					if err != nil {
+						return nil, fmt.Errorf("attack: line %d: ports: %w", line, err)
+					}
+					e.Ports = append(e.Ports, uint16(p))
+					start = i + 1
+				}
+			}
+		}
+		events = append(events, e)
+	}
+	return NewStore(events), nil
+}
+
+// --- binary persistence ----------------------------------------------
+
+const binMagic = "DOSEVT01"
+
+// WriteBinary writes a compact fixed-record binary encoding, roughly 5x
+// smaller and 20x faster to load than CSV; the doscope CLI uses it to
+// cache generated scenarios.
+func (s *Store) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binMagic); err != nil {
+		return err
+	}
+	var scratch [8]byte
+	binary.LittleEndian.PutUint64(scratch[:], uint64(len(s.Events())))
+	if _, err := bw.Write(scratch[:]); err != nil {
+		return err
+	}
+	for _, e := range s.Events() {
+		var rec [56]byte
+		rec[0] = byte(e.Source)
+		rec[1] = byte(e.Vector)
+		rec[2] = byte(len(e.Ports))
+		binary.LittleEndian.PutUint32(rec[4:8], uint32(e.Target))
+		binary.LittleEndian.PutUint64(rec[8:16], uint64(e.Start))
+		binary.LittleEndian.PutUint64(rec[16:24], uint64(e.End))
+		binary.LittleEndian.PutUint64(rec[24:32], e.Packets)
+		binary.LittleEndian.PutUint64(rec[32:40], e.Bytes)
+		binary.LittleEndian.PutUint64(rec[40:48], uint64(floatBits(e.MaxPPS)))
+		binary.LittleEndian.PutUint64(rec[48:56], uint64(floatBits(e.AvgRPS)))
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+		for _, p := range e.Ports {
+			binary.LittleEndian.PutUint16(scratch[:2], p)
+			if _, err := bw.Write(scratch[:2]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses a store written by WriteBinary.
+func ReadBinary(r io.Reader) (*Store, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(binMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("attack: reading magic: %w", err)
+	}
+	if string(magic) != binMagic {
+		return nil, fmt.Errorf("attack: bad magic %q", magic)
+	}
+	var scratch [8]byte
+	if _, err := io.ReadFull(br, scratch[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint64(scratch[:])
+	const maxEvents = 1 << 30
+	if n > maxEvents {
+		return nil, fmt.Errorf("attack: implausible event count %d", n)
+	}
+	events := make([]Event, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var rec [56]byte
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("attack: record %d: %w", i, err)
+		}
+		e := Event{
+			Source:  Source(rec[0]),
+			Vector:  Vector(rec[1]),
+			Target:  netx.Addr(binary.LittleEndian.Uint32(rec[4:8])),
+			Start:   int64(binary.LittleEndian.Uint64(rec[8:16])),
+			End:     int64(binary.LittleEndian.Uint64(rec[16:24])),
+			Packets: binary.LittleEndian.Uint64(rec[24:32]),
+			Bytes:   binary.LittleEndian.Uint64(rec[32:40]),
+			MaxPPS:  floatFromBits(binary.LittleEndian.Uint64(rec[40:48])),
+			AvgRPS:  floatFromBits(binary.LittleEndian.Uint64(rec[48:56])),
+		}
+		nPorts := int(rec[2])
+		if nPorts > 0 {
+			e.Ports = make([]uint16, nPorts)
+			for j := 0; j < nPorts; j++ {
+				if _, err := io.ReadFull(br, scratch[:2]); err != nil {
+					return nil, err
+				}
+				e.Ports[j] = binary.LittleEndian.Uint16(scratch[:2])
+			}
+		}
+		events = append(events, e)
+	}
+	return NewStore(events), nil
+}

@@ -1,0 +1,147 @@
+// Package core implements the paper's primary contribution: the data
+// fusion framework that integrates the telescope and honeypot attack
+// event data sets with target metadata (geolocation, prefix-to-AS), the
+// active DNS measurement history, and the DPS-use data set, and derives
+// every analysis of §4 (attack events), §5 (effect on the Web) and §6
+// (DPS migration) — one method per table and figure.
+package core
+
+import (
+	"sort"
+
+	"doscope/internal/attack"
+	"doscope/internal/ipmeta"
+	"doscope/internal/netx"
+	"doscope/internal/openintel"
+)
+
+// Dataset bundles the fused data sources. Telescope and Honeypot are
+// required; Plan enables geo/ASN enrichment; History enables the §5/§6
+// Web analyses.
+type Dataset struct {
+	Telescope  *attack.Store
+	Honeypot   *attack.Store
+	Plan       *ipmeta.Plan
+	History    *openintel.History
+	WindowDays int
+	// MailIdx, when set, enables the §8 mail-infrastructure analysis.
+	MailIdx MailIndex
+
+	// lazily computed caches
+	rev        *openintel.ReverseIndex
+	telPct     []float64 // sorted telescope intensities
+	hpPct      []float64 // sorted honeypot intensities
+	telMean    float64
+	hpMean     float64
+	join       *webJoin
+	migrations *migrationStudy
+}
+
+// New creates a Dataset.
+func New(tel, hp *attack.Store, plan *ipmeta.Plan, hist *openintel.History, windowDays int) *Dataset {
+	if windowDays == 0 {
+		windowDays = attack.WindowDays
+	}
+	return &Dataset{
+		Telescope:  tel,
+		Honeypot:   hp,
+		Plan:       plan,
+		History:    hist,
+		WindowDays: windowDays,
+	}
+}
+
+// Events returns the events of one source.
+func (ds *Dataset) events(src attack.Source) []attack.Event {
+	if src == attack.SourceTelescope {
+		return ds.Telescope.Events()
+	}
+	return ds.Honeypot.Events()
+}
+
+// intensityStats caches the per-dataset sorted intensity arrays and means
+// used for percentile normalization and the medium+ threshold.
+func (ds *Dataset) intensityStats() {
+	if ds.telPct != nil {
+		return
+	}
+	for _, e := range ds.Telescope.Events() {
+		ds.telPct = append(ds.telPct, e.MaxPPS)
+		ds.telMean += e.MaxPPS
+	}
+	if n := len(ds.telPct); n > 0 {
+		ds.telMean /= float64(n)
+	}
+	for _, e := range ds.Honeypot.Events() {
+		ds.hpPct = append(ds.hpPct, e.AvgRPS)
+		ds.hpMean += e.AvgRPS
+	}
+	if n := len(ds.hpPct); n > 0 {
+		ds.hpMean /= float64(n)
+	}
+	sort.Float64s(ds.telPct)
+	sort.Float64s(ds.hpPct)
+}
+
+// IntensityPercentile maps an event's intensity to its percentile within
+// its own data set (the normalization of §6).
+func (ds *Dataset) IntensityPercentile(e *attack.Event) float64 {
+	ds.intensityStats()
+	arr := ds.telPct
+	v := e.MaxPPS
+	if e.Source == attack.SourceHoneypot {
+		arr = ds.hpPct
+		v = e.AvgRPS
+	}
+	if len(arr) < 2 {
+		return 1
+	}
+	i := sort.SearchFloat64s(arr, v)
+	return float64(i) / float64(len(arr)-1)
+}
+
+// MediumPlus reports whether the event's intensity is at least the mean of
+// all intensities in its data set (§4, Figure 5's definition).
+func (ds *Dataset) MediumPlus(e *attack.Event) bool {
+	ds.intensityStats()
+	if e.Source == attack.SourceTelescope {
+		return e.MaxPPS >= ds.telMean
+	}
+	return e.AvgRPS >= ds.hpMean
+}
+
+// reverseIndex caches the History reverse index.
+func (ds *Dataset) reverseIndex() *openintel.ReverseIndex {
+	if ds.rev == nil && ds.History != nil {
+		ds.rev = ds.History.BuildReverseIndex()
+	}
+	return ds.rev
+}
+
+// allEvents iterates both data sets.
+func (ds *Dataset) allEvents(fn func(e *attack.Event)) {
+	for i, evs := 0, ds.Telescope.Events(); i < len(evs); i++ {
+		fn(&evs[i])
+	}
+	for i, evs := 0, ds.Honeypot.Events(); i < len(evs); i++ {
+		fn(&evs[i])
+	}
+}
+
+// uniqueTargets collects the distinct target addresses of one source (or
+// of both with src < 0).
+func (ds *Dataset) uniqueTargets(src int) map[netx.Addr]struct{} {
+	out := make(map[netx.Addr]struct{})
+	add := func(evs []attack.Event) {
+		for i := range evs {
+			out[evs[i].Target] = struct{}{}
+		}
+	}
+	if src < 0 || attack.Source(src) == attack.SourceTelescope {
+		add(ds.Telescope.Events())
+	}
+	if src < 0 || attack.Source(src) == attack.SourceHoneypot {
+		add(ds.Honeypot.Events())
+	}
+	return out
+}

@@ -1,0 +1,549 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"doscope/internal/attack"
+	"doscope/internal/dossim"
+)
+
+var (
+	dsOnce sync.Once
+	dsVal  *Dataset
+	dsErr  error
+)
+
+// scenario builds the default 1/1000-scale scenario once and wraps it in a
+// core.Dataset.
+func scenario(t testing.TB) *Dataset {
+	t.Helper()
+	dsOnce.Do(func() {
+		sc, err := dossim.Generate(dossim.Config{Seed: 42})
+		if err != nil {
+			dsErr = err
+			return
+		}
+		dsVal = New(sc.Telescope, sc.Honeypot, sc.Plan, sc.History, sc.Cfg.WindowDays)
+		dsVal.MailIdx = sc.Web
+	})
+	if dsErr != nil {
+		t.Fatal(dsErr)
+	}
+	return dsVal
+}
+
+func TestTable1(t *testing.T) {
+	ds := scenario(t)
+	rows := ds.Table1()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	tel, hp, comb := rows[0], rows[1], rows[2]
+	if comb.Events != tel.Events+hp.Events {
+		t.Errorf("combined events %d != %d + %d", comb.Events, tel.Events, hp.Events)
+	}
+	if comb.Targets >= tel.Targets+hp.Targets {
+		t.Error("combined targets must be less than the sum (common targets exist)")
+	}
+	if comb.Targets < tel.Targets || comb.Targets < hp.Targets {
+		t.Error("combined targets must dominate each data set")
+	}
+	if tel.Slash24s > tel.Targets || tel.Slash16s > tel.Slash24s || tel.ASNs == 0 {
+		t.Errorf("telescope row inconsistent: %+v", tel)
+	}
+	// Honeypot sees more unique targets than the telescope (Table 1).
+	if hp.Targets <= tel.Targets {
+		t.Errorf("honeypot targets (%d) should exceed telescope targets (%d)", hp.Targets, tel.Targets)
+	}
+	// Telescope has more events (12.47M vs 8.43M).
+	if tel.Events <= hp.Events {
+		t.Errorf("telescope events (%d) should exceed honeypot events (%d)", tel.Events, hp.Events)
+	}
+}
+
+func TestTable2(t *testing.T) {
+	ds := scenario(t)
+	rows := ds.Table2()
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	com, net, org, comb := rows[0], rows[1], rows[2], rows[3]
+	if com.TLD != ".com" || comb.TLD != "Combined" {
+		t.Errorf("row labels: %+v", rows)
+	}
+	if com.WebSites <= net.WebSites || net.WebSites <= org.WebSites {
+		t.Error(".com > .net > .org ordering violated")
+	}
+	if comb.WebSites != com.WebSites+net.WebSites+org.WebSites {
+		t.Error("combined mismatch")
+	}
+	// Roughly 82.7% of sites in .com.
+	frac := float64(com.WebSites) / float64(comb.WebSites)
+	if math.Abs(frac-0.827) > 0.03 {
+		t.Errorf(".com share = %.3f", frac)
+	}
+	if comb.DataPoints == 0 {
+		t.Error("no data points")
+	}
+}
+
+func TestTable3(t *testing.T) {
+	ds := scenario(t)
+	rows := ds.Table3()
+	if len(rows) != 10 {
+		t.Fatalf("providers = %d", len(rows))
+	}
+	byName := map[string]int{}
+	total := 0
+	for _, r := range rows {
+		byName[r.Provider] = r.WebSites
+		total += r.WebSites
+	}
+	if total == 0 {
+		t.Fatal("no DPS-protected sites detected")
+	}
+	// Structural expectations from Table 3: the commercial providers
+	// dwarf VirtualRoad (< 100 sites at full scale).
+	if byName["VirtualRoad"] >= byName["CloudFlare"] {
+		t.Error("VirtualRoad should be the smallest provider")
+	}
+	if byName["CloudFlare"] == 0 || byName["Incapsula"] == 0 || byName["DOSarrest"] == 0 {
+		t.Errorf("major providers missing: %v", byName)
+	}
+}
+
+func TestTable4(t *testing.T) {
+	ds := scenario(t)
+	tel := ds.Table4(attack.SourceTelescope, 5)
+	if len(tel) != 6 {
+		t.Fatalf("rows = %d", len(tel))
+	}
+	if tel[0].Country != "US" {
+		t.Errorf("telescope top country = %s, want US", tel[0].Country)
+	}
+	if tel[1].Country != "CN" {
+		t.Errorf("telescope #2 = %s, want CN", tel[1].Country)
+	}
+	if math.Abs(tel[0].Share-0.2556) > 0.06 {
+		t.Errorf("US share = %.3f", tel[0].Share)
+	}
+	var sum float64
+	for _, r := range tel {
+		sum += r.Share
+	}
+	if math.Abs(sum-1) > 0.02 {
+		t.Errorf("shares sum to %.3f", sum)
+	}
+	hp := ds.Table4(attack.SourceHoneypot, 5)
+	if hp[0].Country != "US" {
+		t.Errorf("honeypot top country = %s", hp[0].Country)
+	}
+	// France ranks high in the honeypot data (OVH effect).
+	foundFR := false
+	for _, r := range hp[:5] {
+		if r.Country == "FR" {
+			foundFR = true
+		}
+	}
+	if !foundFR {
+		t.Error("FR missing from honeypot top 5")
+	}
+}
+
+func TestTable5Through8(t *testing.T) {
+	ds := scenario(t)
+	t5 := ds.Table5()
+	if t5[0].Label != "TCP" || math.Abs(t5[0].Share-0.794) > 0.06 {
+		t.Errorf("Table5 TCP = %+v", t5[0])
+	}
+	t6 := ds.Table6()
+	if t6[0].Label != "NTP" {
+		t.Errorf("Table6 top = %s, want NTP", t6[0].Label)
+	}
+	if math.Abs(t6[0].Share-0.4008) > 0.06 {
+		t.Errorf("NTP share = %.3f", t6[0].Share)
+	}
+	t7 := ds.Table7()
+	if math.Abs(t7[0].Share-0.606) > 0.08 {
+		t.Errorf("single-port = %.3f", t7[0].Share)
+	}
+	if math.Abs(t7[0].Share+t7[1].Share-1) > 1e-9 {
+		t.Error("Table7 shares must sum to 1")
+	}
+	t8tcp := ds.Table8(attack.VectorTCP, 5)
+	if t8tcp[0].Label != "HTTP" || t8tcp[1].Label != "HTTPS" {
+		t.Errorf("Table8a top = %s, %s; want HTTP, HTTPS", t8tcp[0].Label, t8tcp[1].Label)
+	}
+	t8udp := ds.Table8(attack.VectorUDP, 5)
+	if t8udp[0].Label != "27015" {
+		t.Errorf("Table8b top = %s, want 27015", t8udp[0].Label)
+	}
+}
+
+func TestTable9(t *testing.T) {
+	ds := scenario(t)
+	t9 := ds.Table9()
+	if len(t9.Intensity) != len(t9.Percentiles) {
+		t.Fatal("shape mismatch")
+	}
+	prev := -1.0
+	for i, v := range t9.Intensity {
+		if v < prev-1e-9 || v < 0 || v > 1 {
+			t.Fatalf("intensity at P%.1f = %v not monotone in [0,1]", t9.Percentiles[i], v)
+		}
+		prev = v
+	}
+	// The distribution is bottom-heavy: P95 far below the max (Table 9
+	// shows 95% of sites at <= 0.07 normalized intensity).
+	p95 := t9.Intensity[2]
+	if p95 > 0.6 {
+		t.Errorf("P95 normalized intensity = %.3f; distribution should be bottom-heavy", p95)
+	}
+}
+
+func TestFigure1(t *testing.T) {
+	ds := scenario(t)
+	tel, hp, comb := ds.Figure1()
+	telMean := mean(tel.Attacks)
+	hpMean := mean(hp.Attacks)
+	combMean := mean(comb.Attacks)
+	if math.Abs(combMean-telMean-hpMean) > 1e-9 {
+		t.Error("combined attacks != tel + hp")
+	}
+	// ~17.1/day and ~11.6/day at 1/1000 scale.
+	if telMean < 12 || telMean > 22 {
+		t.Errorf("telescope daily mean = %.1f, want ~17.1", telMean)
+	}
+	if hpMean < 8 || hpMean > 16 {
+		t.Errorf("honeypot daily mean = %.1f, want ~11.6", hpMean)
+	}
+	// Unique targets per day below attacks per day (same-day repeats).
+	if mean(tel.Targets) >= telMean {
+		t.Error("telescope daily targets should be below attacks")
+	}
+	// Combined targets not the sum of panels (same-day cross-data-set hits).
+	if mean(comb.Targets) > mean(tel.Targets)+mean(hp.Targets) {
+		t.Error("combined targets exceed sum of panels")
+	}
+	if mean(comb.ASNs) == 0 || mean(comb.Slash16s) == 0 {
+		t.Error("ASN //16 series empty")
+	}
+}
+
+func TestFigure2(t *testing.T) {
+	ds := scenario(t)
+	tel, hp := ds.Figure2()
+	if tel.P50Sec < 250 || tel.P50Sec > 900 {
+		t.Errorf("telescope median = %.0f", tel.P50Sec)
+	}
+	if hp.P50Sec < 150 || hp.P50Sec > 450 {
+		t.Errorf("honeypot median = %.0f", hp.P50Sec)
+	}
+	if tel.MeanSec <= hp.MeanSec {
+		t.Error("randomly spoofed attacks must last longer on average (Fig 2)")
+	}
+	if hp.Over24h > 0 {
+		t.Error("honeypot durations beyond the 24h cap")
+	}
+}
+
+func TestFigure3And4(t *testing.T) {
+	ds := scenario(t)
+	f3 := ds.Figure3()
+	if f3.Median < 0.5 || f3.Median > 3 {
+		t.Errorf("telescope median intensity = %.2f", f3.Median)
+	}
+	f4 := ds.Figure4()
+	if len(f4) != 6 || f4[0].Label != "Overall" {
+		t.Fatalf("Figure4 curves = %d", len(f4))
+	}
+	// NTP reaches the highest rates among protocols (Fig 4).
+	var ntp, ripv1 IntensityCDF
+	for _, c := range f4 {
+		switch c.Label {
+		case "NTP":
+			ntp = c
+		case "RIPv1":
+			ripv1 = c
+		}
+	}
+	if ntp.Mean <= ripv1.Mean {
+		t.Errorf("NTP mean rps (%.1f) should exceed RIPv1 (%.1f)", ntp.Mean, ripv1.Mean)
+	}
+}
+
+func TestFigure5(t *testing.T) {
+	ds := scenario(t)
+	f5 := ds.Figure5()
+	medMean := mean(f5.Attacks)
+	_, _, comb := ds.Figure1()
+	allMean := mean(comb.Attacks)
+	// ~1.4k of 28.7k daily at full scale: medium+ events are a small
+	// fraction of all events.
+	frac := medMean / allMean
+	if frac < 0.01 || frac > 0.25 {
+		t.Errorf("medium+ fraction = %.3f, want ~0.05", frac)
+	}
+	// The Nov 4 2016 planted peak (day 614) must stand out.
+	peak, at := maxAt(f5.Attacks)
+	if peak < 3*medMean {
+		t.Errorf("no pronounced high-intensity peak (max %.0f, mean %.1f)", peak, medMean)
+	}
+	if at < 600 || at > 630 {
+		t.Logf("note: top medium+ day = %d (planted peak at 614)", at)
+	}
+}
+
+func TestFigure6(t *testing.T) {
+	ds := scenario(t)
+	h := ds.Figure6()
+	if len(h.Counts) < 4 {
+		t.Fatalf("co-hosting bins = %d", len(h.Counts))
+	}
+	// n=1 is the biggest bin; counts decay across bins (Fig 6 shape).
+	if h.Counts[0] < h.Counts[1] {
+		t.Errorf("n=1 bin (%d) should dominate (1,10] (%d)", h.Counts[0], h.Counts[1])
+	}
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	// 572k/1000 attacked Web IPs.
+	if total < 300 || total > 1200 {
+		t.Errorf("attacked Web IPs = %d, want ~572", total)
+	}
+}
+
+func TestFigure7AndWebImpact(t *testing.T) {
+	ds := scenario(t)
+	f7 := ds.Figure7()
+	w := ds.WebImpactStats()
+	if math.Abs(w.AttackedFraction-0.64) > 0.08 {
+		t.Errorf("attacked site fraction = %.3f, want ~0.64", w.AttackedFraction)
+	}
+	if w.DailyAvgFraction < 0.01 || w.DailyAvgFraction > 0.06 {
+		t.Errorf("daily attacked fraction = %.4f, want ~0.03", w.DailyAvgFraction)
+	}
+	if w.MediumDailyAvgSites <= 0 || w.MediumDailyAvgSites >= w.DailyAvgSites {
+		t.Errorf("medium+ daily sites = %.1f (all: %.1f)", w.MediumDailyAvgSites, w.DailyAvgSites)
+	}
+	webIPFrac := float64(w.WebTargetIPs) / float64(w.TotalTargetIPs)
+	if webIPFrac < 0.05 || webIPFrac > 0.15 {
+		t.Errorf("web target IP fraction = %.3f, want ~0.09", webIPFrac)
+	}
+	if math.Abs(w.TCPShareOnWeb-0.934) > 0.05 {
+		t.Errorf("TCP share on web = %.3f", w.TCPShareOnWeb)
+	}
+	if math.Abs(w.NTPShareOnWeb-0.5469) > 0.08 {
+		t.Errorf("NTP share on web = %.3f", w.NTPShareOnWeb)
+	}
+	if w.WebPortShareOnWeb < 0.75 {
+		t.Errorf("web-port share on web targets = %.3f, want ~0.876", w.WebPortShareOnWeb)
+	}
+	// Peaks: the largest Fig 7 day should be one of the planted peaks.
+	if len(f7.PeakDays) == 0 {
+		t.Fatal("no peaks")
+	}
+	planted := map[int]bool{11: true, 223: true, 614: true, 727: true}
+	if !planted[f7.PeakDays[0]] {
+		t.Errorf("top web-impact day = %d, want a planted peak day", f7.PeakDays[0])
+	}
+	if len(f7.SmoothedPct) != ds.WindowDays {
+		t.Error("smoothed series wrong length")
+	}
+}
+
+func TestFigure8Taxonomy(t *testing.T) {
+	ds := scenario(t)
+	tax := ds.Figure8()
+	if tax.Total == 0 {
+		t.Fatal("empty taxonomy")
+	}
+	attackedFrac := float64(tax.Attacked) / float64(tax.Total)
+	if math.Abs(attackedFrac-0.64) > 0.08 {
+		t.Errorf("attacked fraction = %.3f, want ~0.64", attackedFrac)
+	}
+	preA := float64(tax.AttackedPreexisting) / float64(tax.Attacked)
+	if math.Abs(preA-0.186) > 0.06 {
+		t.Errorf("preexisting|attacked = %.3f, want ~0.186", preA)
+	}
+	preN := float64(tax.NoAttackPreexisting) / float64(tax.NoAttack)
+	if preN > 0.03 {
+		t.Errorf("preexisting|no-attack = %.4f, want ~0.0089", preN)
+	}
+	migA := float64(tax.AttackedMigrating) / float64(tax.AttackedNonPre)
+	if migA < 0.02 || migA > 0.09 {
+		t.Errorf("migrating|attacked = %.4f, want ~0.0431", migA)
+	}
+	migN := float64(tax.NoAttackMigrating) / float64(tax.NoAttackNonPre)
+	if migN < 0.015 || migN > 0.06 {
+		t.Errorf("migrating|no-attack = %.4f, want ~0.0332", migN)
+	}
+	// Sanity: the tree sums.
+	if tax.Attacked+tax.NoAttack != tax.Total {
+		t.Error("tree level 1 does not sum")
+	}
+	if tax.AttackedPreexisting+tax.AttackedNonPre != tax.Attacked {
+		t.Error("tree level 2 (attacked) does not sum")
+	}
+	if tax.AttackedMigrating+tax.AttackedNonMigrating != tax.AttackedNonPre {
+		t.Error("tree level 3 (attacked) does not sum")
+	}
+}
+
+func TestFigure9(t *testing.T) {
+	ds := scenario(t)
+	f9 := ds.Figure9()
+	if f9.All.Len() == 0 || f9.Migrating.Len() == 0 {
+		t.Fatal("empty frequency CDFs")
+	}
+	// Migrating sites are attacked less often (Fig 9: 97.83% vs 92.35%
+	// within 5 attacks).
+	if f9.AtMost5Migrating <= f9.AtMost5All {
+		t.Errorf("P(<=5) migrating %.3f should exceed all %.3f", f9.AtMost5Migrating, f9.AtMost5All)
+	}
+}
+
+func TestFigure10(t *testing.T) {
+	ds := scenario(t)
+	f10 := ds.Figure10()
+	if len(f10) != 4 {
+		t.Fatalf("bands = %d", len(f10))
+	}
+	all, top01 := f10[0], f10[3]
+	if all.Sites == 0 {
+		t.Fatal("no migrating sites")
+	}
+	// Intensity accelerates migration: the top band migrates much faster.
+	if top01.Sites > 0 && top01.Within1 <= all.Within1 {
+		t.Errorf("top 0.1%% within-1-day %.3f should exceed all %.3f", top01.Within1, all.Within1)
+	}
+	if math.Abs(all.Within1-0.232) > 0.12 {
+		t.Errorf("all within-1-day = %.3f, want ~0.232", all.Within1)
+	}
+	if top01.Sites > 0 && top01.Within6 < 0.85 {
+		t.Errorf("top 0.1%% within-6-days = %.3f, want ~0.986", top01.Within6)
+	}
+}
+
+func TestFigure11(t *testing.T) {
+	ds := scenario(t)
+	f11 := ds.Figure11()
+	if f11.Sites == 0 {
+		t.Fatal("no >=4h migrating sites (Wix trigger missing?)")
+	}
+	// The Wix bulk migration dominates: most migrate within a day.
+	if f11.Within1 < 0.4 {
+		t.Errorf("within-1-day after >=4h attacks = %.3f, want ~0.676", f11.Within1)
+	}
+}
+
+func TestJointAttacks(t *testing.T) {
+	ds := scenario(t)
+	j := ds.JointAttacks()
+	if j.CommonTargets == 0 || j.JointTargets == 0 {
+		t.Fatal("no joint attacks found")
+	}
+	if j.JointTargets > j.CommonTargets {
+		t.Error("joint > common")
+	}
+	// Joint attacks concentrate on single ports (77.1% vs 60.6%).
+	base := ds.Table7()[0].Share
+	if j.SinglePortShare <= base {
+		t.Errorf("joint single-port %.3f should exceed base %.3f", j.SinglePortShare, base)
+	}
+	// 27015/UDP concentration (53% vs 18.5%).
+	if j.Port27015Share < 0.3 {
+		t.Errorf("joint 27015 share = %.3f, want ~0.53", j.Port27015Share)
+	}
+	// NTP gains, CharGen halves.
+	if j.NTPShare < 0.40 {
+		t.Errorf("joint NTP share = %.3f, want ~0.47", j.NTPShare)
+	}
+	if j.CharGenShare > 0.18 {
+		t.Errorf("joint CharGen share = %.3f, want ~0.115", j.CharGenShare)
+	}
+	// OVH tops the joint-target AS ranking (AS12276, 12.3%).
+	if len(j.TopASNs) == 0 {
+		t.Fatal("no AS ranking")
+	}
+	if j.TopASNs[0].Name != "OVH" {
+		t.Errorf("top joint AS = %q (%.3f), want OVH", j.TopASNs[0].Name, j.TopASNs[0].Share)
+	}
+	// US and CN lead the joint country ranking.
+	if len(j.TopCountries) < 2 || j.TopCountries[0].Country != "US" || j.TopCountries[1].Country != "CN" {
+		t.Errorf("joint countries = %+v", j.TopCountries)
+	}
+}
+
+func TestTargetsIn24s(t *testing.T) {
+	ds := scenario(t)
+	n := ds.TargetsIn24s()
+	frac := float64(n) / float64(ds.Plan.NumActive24())
+	if frac < 0.2 || frac > 0.5 {
+		t.Errorf("attacked /24 fraction = %.3f, want ~1/3", frac)
+	}
+}
+
+func TestDatasetWithoutHistory(t *testing.T) {
+	ds := scenario(t)
+	bare := New(ds.Telescope, ds.Honeypot, ds.Plan, nil, ds.WindowDays)
+	if rows := bare.Table1(); rows[2].Events == 0 {
+		t.Error("Table1 broken without history")
+	}
+	if tax := bare.Figure8(); tax.Total != 0 {
+		t.Error("taxonomy should be empty without history")
+	}
+	if w := bare.WebImpactStats(); w.SitesEverAttacked != 0 {
+		t.Error("web impact should be empty without history")
+	}
+}
+
+func mean(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+func maxAt(v []float64) (float64, int) {
+	best, at := math.Inf(-1), -1
+	for i, x := range v {
+		if x > best {
+			best, at = x, i
+		}
+	}
+	return best, at
+}
+
+func TestMailImpact(t *testing.T) {
+	ds := scenario(t)
+	m := ds.MailImpactStats()
+	if m.DomainsEverAffected == 0 {
+		t.Fatal("no mail impact measured")
+	}
+	if m.Fraction <= 0 || m.Fraction > 0.8 {
+		t.Errorf("mail-affected fraction = %.3f", m.Fraction)
+	}
+	if m.AttackedMailIPs == 0 || len(m.TopClusters) == 0 {
+		t.Fatalf("mail clusters missing: %+v", m)
+	}
+	// Clusters are sorted by affected domains, and the biggest cluster
+	// belongs to a mega hoster (GoDaddy-scale: >= hundreds of domains).
+	if m.TopClusters[0].Domains < 200 {
+		t.Errorf("top mail cluster only %d domains", m.TopClusters[0].Domains)
+	}
+	for i := 1; i < len(m.TopClusters); i++ {
+		if m.TopClusters[i].Domains > m.TopClusters[i-1].Domains {
+			t.Fatal("clusters not sorted")
+		}
+	}
+	// Without an index the analysis degrades gracefully.
+	bare := New(ds.Telescope, ds.Honeypot, ds.Plan, ds.History, ds.WindowDays)
+	if got := bare.MailImpactStats(); got.DomainsEverAffected != 0 {
+		t.Error("mail impact without index should be empty")
+	}
+}

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"sort"
+
+	"doscope/internal/attack"
+	"doscope/internal/netx"
+	"doscope/internal/stats"
+)
+
+// DailyPanel is one panel of Figure 1 (or Figure 5): per-day counts of
+// attacks, unique targets, targeted /16 blocks, and targeted ASNs.
+type DailyPanel struct {
+	Attacks  []float64
+	Targets  []float64
+	Slash16s []float64
+	ASNs     []float64
+}
+
+func newDailyPanel(days int) *DailyPanel {
+	return &DailyPanel{
+		Attacks:  make([]float64, days),
+		Targets:  make([]float64, days),
+		Slash16s: make([]float64, days),
+		ASNs:     make([]float64, days),
+	}
+}
+
+type panelStamps struct {
+	target map[int64]struct{}
+	s16    map[int64]struct{}
+	asn    map[int64]struct{}
+}
+
+func (ds *Dataset) accumulatePanel(p *DailyPanel, st *panelStamps, e *attack.Event) {
+	day := e.Day()
+	if day < 0 || day >= ds.WindowDays {
+		return
+	}
+	p.Attacks[day]++
+	dkey := int64(day) << 32
+	tkey := dkey | int64(uint32(e.Target))
+	if _, ok := st.target[tkey]; !ok {
+		st.target[tkey] = struct{}{}
+		p.Targets[day]++
+	}
+	skey := dkey | int64(uint32(e.Target.Slash16()))
+	if _, ok := st.s16[skey]; !ok {
+		st.s16[skey] = struct{}{}
+		p.Slash16s[day]++
+	}
+	if ds.Plan != nil {
+		if asn, ok := ds.Plan.ASOf(e.Target); ok {
+			akey := dkey | int64(asn)
+			if _, ok := st.asn[akey]; !ok {
+				st.asn[akey] = struct{}{}
+				p.ASNs[day]++
+			}
+		}
+	}
+}
+
+func newPanelStamps() *panelStamps {
+	return &panelStamps{
+		target: make(map[int64]struct{}),
+		s16:    make(map[int64]struct{}),
+		asn:    make(map[int64]struct{}),
+	}
+}
+
+// Figure1 reproduces the three panels of Figure 1: daily attack and target
+// counts for the telescope, honeypot, and combined data sets.
+func (ds *Dataset) Figure1() (tel, hp, combined *DailyPanel) {
+	tel = newDailyPanel(ds.WindowDays)
+	hp = newDailyPanel(ds.WindowDays)
+	combined = newDailyPanel(ds.WindowDays)
+	stTel, stHp, stComb := newPanelStamps(), newPanelStamps(), newPanelStamps()
+	for i, evs := 0, ds.Telescope.Events(); i < len(evs); i++ {
+		ds.accumulatePanel(tel, stTel, &evs[i])
+		ds.accumulatePanel(combined, stComb, &evs[i])
+	}
+	for i, evs := 0, ds.Honeypot.Events(); i < len(evs); i++ {
+		ds.accumulatePanel(hp, stHp, &evs[i])
+		ds.accumulatePanel(combined, stComb, &evs[i])
+	}
+	return tel, hp, combined
+}
+
+// DurationCDF summarizes one data set's duration distribution (Figure 2).
+type DurationCDF struct {
+	Source  string
+	CDF     *stats.CDF
+	MeanSec float64
+	P50Sec  float64
+	P90Sec  float64
+	Over1h  float64
+	Over24h float64
+}
+
+// Figure2 reproduces Figure 2: duration distributions per data set.
+func (ds *Dataset) Figure2() (tel, hp DurationCDF) {
+	build := func(name string, evs []attack.Event) DurationCDF {
+		var d []float64
+		for i := range evs {
+			d = append(d, float64(evs[i].Duration()))
+		}
+		c := stats.NewCDF(d)
+		return DurationCDF{
+			Source: name, CDF: c,
+			MeanSec: c.Mean(), P50Sec: c.Median(), P90Sec: c.Quantile(0.9),
+			Over1h: 1 - c.At(3600), Over24h: 1 - c.At(86400),
+		}
+	}
+	return build("Telescope", ds.Telescope.Events()), build("Honeypot", ds.Honeypot.Events())
+}
+
+// IntensityCDF summarizes an intensity distribution (Figures 3 and 4).
+type IntensityCDF struct {
+	Label  string
+	CDF    *stats.CDF
+	Mean   float64
+	Median float64
+}
+
+// Figure3 reproduces Figure 3: the telescope intensity distribution
+// (maximum packets per second observed at the telescope).
+func (ds *Dataset) Figure3() IntensityCDF {
+	var v []float64
+	for _, e := range ds.Telescope.Events() {
+		v = append(v, e.MaxPPS)
+	}
+	c := stats.NewCDF(v)
+	return IntensityCDF{Label: "Telescope (max pps)", CDF: c, Mean: c.Mean(), Median: c.Median()}
+}
+
+// Figure4 reproduces Figure 4: honeypot request-rate distributions,
+// overall and for the top five reflection protocols.
+func (ds *Dataset) Figure4() []IntensityCDF {
+	byVec := make(map[attack.Vector][]float64)
+	var all []float64
+	for _, e := range ds.Honeypot.Events() {
+		byVec[e.Vector] = append(byVec[e.Vector], e.AvgRPS)
+		all = append(all, e.AvgRPS)
+	}
+	out := []IntensityCDF{}
+	c := stats.NewCDF(all)
+	out = append(out, IntensityCDF{Label: "Overall", CDF: c, Mean: c.Mean(), Median: c.Median()})
+	for _, v := range []attack.Vector{attack.VectorNTP, attack.VectorDNS, attack.VectorCharGen, attack.VectorSSDP, attack.VectorRIPv1} {
+		c := stats.NewCDF(byVec[v])
+		out = append(out, IntensityCDF{Label: v.String(), CDF: c, Mean: c.Mean(), Median: c.Median()})
+	}
+	return out
+}
+
+// Figure5 reproduces Figure 5: the daily series restricted to events of
+// medium or higher intensity (>= the mean intensity of the data set),
+// both data sets combined.
+func (ds *Dataset) Figure5() *DailyPanel {
+	p := newDailyPanel(ds.WindowDays)
+	st := newPanelStamps()
+	ds.allEvents(func(e *attack.Event) {
+		if ds.MediumPlus(e) {
+			ds.accumulatePanel(p, st, e)
+		}
+	})
+	return p
+}
+
+// Figure6 reproduces Figure 6: the histogram of Web sites co-hosted on
+// attacked IP addresses (each unique attacked Web-hosting IP contributes
+// its co-hosting count at the time of its first attack).
+func (ds *Dataset) Figure6() *stats.LogHistogram {
+	j := ds.webJoinResult()
+	return stats.NewLogHistogram(j.cohost)
+}
+
+// Figure7Result is the Figure 7 Web-impact time series.
+type Figure7Result struct {
+	// DailySites is the number of distinct Web sites on attacked IPs per
+	// day; DailyMedium restricts to medium+ intensity events.
+	DailySites  []float64
+	DailyMedium []float64
+	// SmoothedPct is the monthly-median cubic-spline smoothed percentage
+	// of all measured Web sites (the paper's black curve).
+	SmoothedPct []float64
+	// Peaks are the four largest days.
+	PeakDays   []int
+	PeakValues []float64
+}
+
+// Figure7 reproduces Figure 7.
+func (ds *Dataset) Figure7() Figure7Result {
+	j := ds.webJoinResult()
+	res := Figure7Result{
+		DailySites:  j.dailyAll.Values,
+		DailyMedium: j.dailyMed.Values,
+	}
+	smoothed := j.dailyAll.MonthlyMedianSpline()
+	res.SmoothedPct = make([]float64, len(smoothed))
+	if j.aliveSites > 0 {
+		for i, v := range smoothed {
+			res.SmoothedPct[i] = 100 * v / float64(j.aliveSites)
+		}
+	}
+	// Extract the four highest peak days.
+	type peak struct {
+		day int
+		v   float64
+	}
+	var peaks []peak
+	for d, v := range j.dailyAll.Values {
+		peaks = append(peaks, peak{d, v})
+	}
+	sort.Slice(peaks, func(a, b int) bool { return peaks[a].v > peaks[b].v })
+	for i := 0; i < 4 && i < len(peaks); i++ {
+		res.PeakDays = append(res.PeakDays, peaks[i].day)
+		res.PeakValues = append(res.PeakValues, peaks[i].v)
+	}
+	return res
+}
+
+// TargetsIn24s returns unique attacked /24 blocks across both data sets
+// (the "one third of the Internet" headline, §4).
+func (ds *Dataset) TargetsIn24s() int {
+	s := make(map[netx.Addr]struct{})
+	ds.allEvents(func(e *attack.Event) {
+		s[e.Target.Slash24()] = struct{}{}
+	})
+	return len(s)
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"sort"
+
+	"doscope/internal/attack"
+	"doscope/internal/ipmeta"
+	"doscope/internal/netx"
+)
+
+// JointStats reproduces the §4 joint-attack correlation: targets hit by
+// both randomly spoofed and reflection attacks, and how attack attributes
+// shift when attacks are combined.
+type JointStats struct {
+	CommonTargets int // targets in both data sets
+	JointTargets  int // targets with time-overlapping attacks
+
+	// Telescope-side shifts for events co-participating in joint attacks.
+	SinglePortShare float64 // 60.6% -> 77.1%
+	HTTPShare       float64 // share of HTTP among single-port TCP (50.23%)
+	Port27015Share  float64 // share of 27015 among single-port UDP (53%)
+
+	// Honeypot-side shifts.
+	NTPShare     float64 // 40.08% -> 47.0%
+	CharGenShare float64 // 22.37% -> 11.5%
+
+	// Joint-target rankings.
+	TopASNs      []ASShare
+	TopCountries []CountryRow
+}
+
+// ASShare is one row of the joint-target AS ranking.
+type ASShare struct {
+	ASN   uint32
+	Name  string
+	Share float64
+}
+
+// JointAttacks computes the §4 joint-attack analysis.
+func (ds *Dataset) JointAttacks() JointStats {
+	telBy := ds.Telescope.ByTarget()
+	hpBy := ds.Honeypot.ByTarget()
+	telEvents := ds.Telescope.Events()
+	hpEvents := ds.Honeypot.Events()
+
+	var st JointStats
+	jointTargets := make(map[netx.Addr]bool)
+	var jointTelIdx, jointHpIdx []int
+	for target, tIdx := range telBy {
+		hIdx, ok := hpBy[target]
+		if !ok {
+			continue
+		}
+		st.CommonTargets++
+		overlap := false
+		for _, i := range tIdx {
+			for _, j := range hIdx {
+				if telEvents[i].Overlaps(&hpEvents[j]) {
+					overlap = true
+					jointTelIdx = append(jointTelIdx, i)
+					jointHpIdx = append(jointHpIdx, j)
+				}
+			}
+		}
+		if overlap {
+			st.JointTargets++
+			jointTargets[target] = true
+		}
+	}
+
+	// Telescope-side attribute shifts over co-participating events.
+	single, withPorts := 0, 0
+	http, tcpSingle := 0, 0
+	p27015, udpSingle := 0, 0
+	seenTel := make(map[int]bool)
+	for _, i := range jointTelIdx {
+		if seenTel[i] {
+			continue
+		}
+		seenTel[i] = true
+		e := &telEvents[i]
+		if len(e.Ports) == 0 {
+			continue
+		}
+		withPorts++
+		if e.SinglePort() {
+			single++
+			switch e.Vector {
+			case attack.VectorTCP:
+				tcpSingle++
+				if attack.WebPort(e.Ports[0]) && e.Ports[0] != 443 {
+					http++
+				}
+			case attack.VectorUDP:
+				udpSingle++
+				if e.Ports[0] == 27015 {
+					p27015++
+				}
+			}
+		}
+	}
+	if withPorts > 0 {
+		st.SinglePortShare = float64(single) / float64(withPorts)
+	}
+	if tcpSingle > 0 {
+		st.HTTPShare = float64(http) / float64(tcpSingle)
+	}
+	if udpSingle > 0 {
+		st.Port27015Share = float64(p27015) / float64(udpSingle)
+	}
+
+	// Honeypot-side vector shifts.
+	seenHp := make(map[int]bool)
+	ntp, chargen, hpTotal := 0, 0, 0
+	for _, j := range jointHpIdx {
+		if seenHp[j] {
+			continue
+		}
+		seenHp[j] = true
+		hpTotal++
+		switch hpEvents[j].Vector {
+		case attack.VectorNTP:
+			ntp++
+		case attack.VectorCharGen:
+			chargen++
+		}
+	}
+	if hpTotal > 0 {
+		st.NTPShare = float64(ntp) / float64(hpTotal)
+		st.CharGenShare = float64(chargen) / float64(hpTotal)
+	}
+
+	// Joint-target AS and country rankings.
+	if ds.Plan != nil {
+		asCounts := make(map[uint32]int)
+		ccCounts := make(map[string]int)
+		for target := range jointTargets {
+			if asn, ok := ds.Plan.ASOf(target); ok {
+				asCounts[uint32(asn)]++
+			}
+			if cc, ok := ds.Plan.CountryOf(target); ok {
+				ccCounts[cc.String()]++
+			}
+		}
+		total := float64(len(jointTargets))
+		for asn, n := range asCounts {
+			name := ""
+			if as, ok := ds.Plan.ASByNum(ipmeta.ASN(asn)); ok {
+				name = as.Name
+			}
+			st.TopASNs = append(st.TopASNs, ASShare{ASN: asn, Name: name, Share: float64(n) / total})
+		}
+		sort.Slice(st.TopASNs, func(i, j int) bool { return st.TopASNs[i].Share > st.TopASNs[j].Share })
+		if len(st.TopASNs) > 5 {
+			st.TopASNs = st.TopASNs[:5]
+		}
+		for cc, n := range ccCounts {
+			st.TopCountries = append(st.TopCountries, CountryRow{Country: cc, Targets: n, Share: float64(n) / total})
+		}
+		sort.Slice(st.TopCountries, func(i, j int) bool { return st.TopCountries[i].Targets > st.TopCountries[j].Targets })
+		if len(st.TopCountries) > 5 {
+			st.TopCountries = st.TopCountries[:5]
+		}
+	}
+	return st
+}

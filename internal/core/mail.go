@@ -1,0 +1,119 @@
+package core
+
+import (
+	"sort"
+
+	"doscope/internal/attack"
+	"doscope/internal/netx"
+)
+
+// MailIndex answers which domains' mail (MX target) is handled at an
+// address on a day. webmodel.Population implements it; the §8 extension
+// of the measurement platform ("query for more DNS RRs on the names found
+// in MX records") would populate the same interface from wire data.
+type MailIndex interface {
+	ForEachMailDomainOn(addr netx.Addr, day int, fn func(id uint32))
+}
+
+// MailImpact summarizes the §8 extension: the effect of attacks on mail
+// infrastructure.
+type MailImpact struct {
+	// DomainsEverAffected counts domains whose MX resolved to an attacked
+	// IP at attack time at least once.
+	DomainsEverAffected int
+	// Fraction over the measured namespace.
+	Fraction float64
+	// DailyAvg is the mean number of domains with attacked mail per day.
+	DailyAvg float64
+	// AttackedMailIPs counts distinct attacked addresses serving mail.
+	AttackedMailIPs int
+	// TopClusters lists the largest attacked mail clusters by affected
+	// domain count.
+	TopClusters []MailCluster
+}
+
+// MailCluster is one attacked mail-serving address.
+type MailCluster struct {
+	Addr    netx.Addr
+	Domains int
+	Events  int
+}
+
+// MailImpactStats computes the mail-infrastructure analysis; the Dataset
+// must have been built with a MailIndex (SetMailIndex).
+func (ds *Dataset) MailImpactStats() MailImpact {
+	var m MailImpact
+	if ds.MailIdx == nil || ds.History == nil {
+		return m
+	}
+	nd := ds.History.NumDomains()
+	affected := make([]bool, nd)
+	stamp := make([]int32, nd)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	daily := make([]float64, ds.WindowDays)
+	type cluster struct {
+		domains map[uint32]struct{}
+		events  int
+	}
+	clusters := make(map[netx.Addr]*cluster)
+	ds.allEvents(func(e *attack.Event) {
+		day := e.Day()
+		if day < 0 || day >= ds.WindowDays {
+			return
+		}
+		var cl *cluster
+		ds.MailIdx.ForEachMailDomainOn(e.Target, day, func(id uint32) {
+			if cl == nil {
+				cl = clusters[e.Target]
+				if cl == nil {
+					cl = &cluster{domains: make(map[uint32]struct{})}
+					clusters[e.Target] = cl
+				}
+			}
+			affected[id] = true
+			cl.domains[id] = struct{}{}
+			if stamp[id] != int32(day) {
+				stamp[id] = int32(day)
+				daily[day]++
+			}
+		})
+		if cl != nil {
+			cl.events++
+		}
+	})
+	for _, a := range affected {
+		if a {
+			m.DomainsEverAffected++
+		}
+	}
+	alive := 0
+	for id := 0; id < nd; id++ {
+		if len(ds.History.Segments[id]) > 0 {
+			alive++
+		}
+	}
+	if alive > 0 {
+		m.Fraction = float64(m.DomainsEverAffected) / float64(alive)
+	}
+	var sum float64
+	for _, v := range daily {
+		sum += v
+	}
+	m.DailyAvg = sum / float64(len(daily))
+	m.AttackedMailIPs = len(clusters)
+	for addr, cl := range clusters {
+		m.TopClusters = append(m.TopClusters, MailCluster{Addr: addr, Domains: len(cl.domains), Events: cl.events})
+	}
+	sort.Slice(m.TopClusters, func(i, j int) bool {
+		if m.TopClusters[i].Domains != m.TopClusters[j].Domains {
+			return m.TopClusters[i].Domains > m.TopClusters[j].Domains
+		}
+		return m.TopClusters[i].Addr < m.TopClusters[j].Addr
+	})
+	if len(m.TopClusters) > 5 {
+		m.TopClusters = m.TopClusters[:5]
+	}
+	return m
+}

@@ -1,0 +1,116 @@
+// Package dnsserver is a minimal authoritative UDP DNS server over the
+// dnswire codec, serving dnszone content. The OpenINTEL-style measurement
+// client exercises it over the loopback in integration tests and the
+// dnsmeasure example; query handling is a pure function so it can also be
+// tested without sockets.
+package dnsserver
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"sync"
+
+	"doscope/internal/dnswire"
+	"doscope/internal/dnszone"
+)
+
+// Server answers queries from a set of zones.
+type Server struct {
+	mu    sync.RWMutex
+	zones map[string]*dnszone.Zone
+}
+
+// New creates an empty server.
+func New() *Server {
+	return &Server{zones: make(map[string]*dnszone.Zone)}
+}
+
+// AddZone registers (or replaces) a zone.
+func (s *Server) AddZone(z *dnszone.Zone) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.zones[z.Origin] = z
+}
+
+// zoneFor finds the zone with the longest matching origin suffix.
+func (s *Server) zoneFor(name string) *dnszone.Zone {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	name = dnswire.NormalizeName(name)
+	for {
+		if z, ok := s.zones[name]; ok {
+			return z
+		}
+		dot := strings.IndexByte(name, '.')
+		if dot < 0 {
+			return nil
+		}
+		name = name[dot+1:]
+	}
+}
+
+// HandleQuery answers one wire-format query; it returns nil when the
+// datagram is not a well-formed query (such datagrams are dropped).
+func (s *Server) HandleQuery(req []byte) []byte {
+	var q dnswire.Message
+	if err := q.Unpack(req); err != nil || q.Header.Response || len(q.Questions) == 0 {
+		return nil
+	}
+	resp := dnswire.Message{
+		Header: dnswire.Header{
+			ID:               q.Header.ID,
+			Response:         true,
+			OpCode:           q.Header.OpCode,
+			Authoritative:    true,
+			RecursionDesired: q.Header.RecursionDesired,
+		},
+		Questions: q.Questions[:1],
+	}
+	question := q.Questions[0]
+	if q.Header.OpCode != 0 || question.Class != dnswire.ClassIN {
+		resp.Header.RCode = dnswire.RCodeNotImp
+		return mustPack(&resp)
+	}
+	zone := s.zoneFor(question.Name)
+	if zone == nil {
+		resp.Header.Authoritative = false
+		resp.Header.RCode = dnswire.RCodeRefused
+		return mustPack(&resp)
+	}
+	answers, rcode := zone.Lookup(question.Name, question.Type)
+	resp.Header.RCode = rcode
+	resp.Answers = answers
+	if len(answers) == 0 {
+		soa := zone.SOA()
+		resp.Authority = []dnswire.RR{soa}
+	}
+	return mustPack(&resp)
+}
+
+func mustPack(m *dnswire.Message) []byte {
+	data, err := m.Pack()
+	if err != nil {
+		// A response we constructed ourselves must always pack; failure is
+		// a programming error surfaced loudly in tests.
+		panic("dnsserver: packing response: " + err.Error())
+	}
+	return data
+}
+
+// Serve answers queries on conn until it is closed.
+func (s *Server) Serve(conn net.PacketConn) error {
+	buf := make([]byte, 4096)
+	for {
+		n, addr, err := conn.ReadFrom(buf)
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		if resp := s.HandleQuery(buf[:n]); resp != nil {
+			_, _ = conn.WriteTo(resp, addr)
+		}
+	}
+}

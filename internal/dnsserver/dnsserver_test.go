@@ -1,0 +1,131 @@
+package dnsserver
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"doscope/internal/dnswire"
+	"doscope/internal/dnszone"
+	"doscope/internal/netx"
+)
+
+func testServer(t *testing.T) *Server {
+	t.Helper()
+	z := dnszone.New("com")
+	if err := z.Add(dnswire.RR{Name: "www.shop.com", Type: dnswire.TypeA, Addr: netx.MustParseAddr("203.0.113.5"), TTL: 300}); err != nil {
+		t.Fatal(err)
+	}
+	if err := z.Add(dnswire.RR{Name: "shop.com", Type: dnswire.TypeNS, Target: "ns1.hosting.com", TTL: 86400}); err != nil {
+		t.Fatal(err)
+	}
+	s := New()
+	s.AddZone(z)
+	return s
+}
+
+func query(t *testing.T, name string, typ dnswire.Type) []byte {
+	t.Helper()
+	m := dnswire.Message{
+		Header:    dnswire.Header{ID: 42, RecursionDesired: true},
+		Questions: []dnswire.Question{{Name: name, Type: typ, Class: dnswire.ClassIN}},
+	}
+	data, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestHandleQueryAnswer(t *testing.T) {
+	s := testServer(t)
+	resp := s.HandleQuery(query(t, "www.shop.com", dnswire.TypeA))
+	if resp == nil {
+		t.Fatal("no response")
+	}
+	var m dnswire.Message
+	if err := m.Unpack(resp); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Header.Response || !m.Header.Authoritative || m.Header.ID != 42 {
+		t.Errorf("header = %+v", m.Header)
+	}
+	if len(m.Answers) != 1 || m.Answers[0].Addr != netx.MustParseAddr("203.0.113.5") {
+		t.Errorf("answers = %v", m.Answers)
+	}
+}
+
+func TestHandleQueryNXDomain(t *testing.T) {
+	s := testServer(t)
+	var m dnswire.Message
+	if err := m.Unpack(s.HandleQuery(query(t, "www.gone.com", dnswire.TypeA))); err != nil {
+		t.Fatal(err)
+	}
+	if m.Header.RCode != dnswire.RCodeNXDomain {
+		t.Errorf("rcode = %v", m.Header.RCode)
+	}
+	if len(m.Authority) != 1 || m.Authority[0].Type != dnswire.TypeSOA {
+		t.Errorf("authority = %v (want SOA)", m.Authority)
+	}
+}
+
+func TestHandleQueryRefusedOutsideZones(t *testing.T) {
+	s := testServer(t)
+	var m dnswire.Message
+	if err := m.Unpack(s.HandleQuery(query(t, "www.example.org", dnswire.TypeA))); err != nil {
+		t.Fatal(err)
+	}
+	if m.Header.RCode != dnswire.RCodeRefused {
+		t.Errorf("rcode = %v, want REFUSED", m.Header.RCode)
+	}
+}
+
+func TestHandleQueryDropsGarbage(t *testing.T) {
+	s := testServer(t)
+	if resp := s.HandleQuery([]byte{1, 2, 3}); resp != nil {
+		t.Error("garbage got a response")
+	}
+	// A response message must be dropped, not answered (reflection guard).
+	m := dnswire.Message{Header: dnswire.Header{ID: 1, Response: true}}
+	data, _ := m.Pack()
+	if resp := s.HandleQuery(data); resp != nil {
+		t.Error("response message got answered")
+	}
+}
+
+func TestServeOverUDP(t *testing.T) {
+	s := testServer(t)
+	conn, err := net.ListenPacket("udp4", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = s.Serve(conn)
+	}()
+
+	client, err := net.Dial("udp4", conn.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if _, err := client.Write(query(t, "www.shop.com", dnswire.TypeA)); err != nil {
+		t.Fatal(err)
+	}
+	_ = client.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 4096)
+	n, err := client.Read(buf)
+	if err != nil {
+		t.Fatalf("no reply: %v", err)
+	}
+	var m dnswire.Message
+	if err := m.Unpack(buf[:n]); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Answers) != 1 {
+		t.Errorf("answers = %v", m.Answers)
+	}
+	conn.Close()
+	<-done
+}

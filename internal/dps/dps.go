@@ -1,0 +1,192 @@
+// Package dps identifies DDoS Protection Service use from DNS state,
+// following the methodology of Jonker et al. (IMC 2016) that the paper's
+// fourth data set is built with: a Web site is attributed to a provider
+// when its NS records fall in the provider's name-server space, when its
+// www label expands through a provider-owned CNAME, or when its A record
+// resolves into the provider's network (BGP diversion).
+package dps
+
+import (
+	"strings"
+
+	"doscope/internal/ipmeta"
+)
+
+// Provider is one of the ten DPS providers the paper tracks.
+type Provider uint8
+
+// Providers; None means no DPS detected.
+const (
+	None Provider = iota
+	Akamai
+	CenturyLink
+	CloudFlare
+	DOSarrest
+	F5
+	Incapsula
+	Level3
+	Neustar
+	Verisign
+	VirtualRoad
+	NumProviders = int(VirtualRoad)
+)
+
+// String returns the provider name as the paper prints it.
+func (p Provider) String() string {
+	switch p {
+	case None:
+		return "none"
+	case Akamai:
+		return "Akamai"
+	case CenturyLink:
+		return "CenturyLink"
+	case CloudFlare:
+		return "CloudFlare"
+	case DOSarrest:
+		return "DOSarrest"
+	case F5:
+		return "F5"
+	case Incapsula:
+		return "Incapsula"
+	case Level3:
+		return "Level 3"
+	case Neustar:
+		return "Neustar"
+	case Verisign:
+		return "Verisign"
+	case VirtualRoad:
+		return "VirtualRoad"
+	}
+	return "provider-?"
+}
+
+// All lists the ten providers in table order.
+func All() []Provider {
+	return []Provider{Akamai, CenturyLink, CloudFlare, DOSarrest, F5, Incapsula, Level3, Neustar, Verisign, VirtualRoad}
+}
+
+// Fingerprint describes how a provider shows up in the DNS.
+type Fingerprint struct {
+	Provider Provider
+	// NSSuffix matches the tail of NS record targets.
+	NSSuffix string
+	// CNAMESuffix matches the tail of CNAME expansion targets.
+	CNAMESuffix string
+	// ASName is the provider's network in the ipmeta plan, for A-record
+	// (BGP diversion) detection.
+	ASName string
+}
+
+// Fingerprints returns the detection table. The name-server and CNAME
+// suffixes are synthetic stand-ins with the same structure as the real
+// ones (e.g. *.ns.cloudflare.com, *.incapdns.net).
+func Fingerprints() []Fingerprint {
+	return []Fingerprint{
+		{Akamai, ".akam.net", ".edgekey.net", "Akamai"},
+		{CenturyLink, ".centurylink-dns.com", ".cdn.centurylink.net", "CenturyLink"},
+		{CloudFlare, ".ns.cloudflare.com", ".cdn.cloudflare.net", "CloudFlare"},
+		{DOSarrest, ".dosarrest.com", ".dosarrest-cdn.com", "DOSarrest"},
+		{F5, ".f5silverline.com", ".f5cloudservices.net", "F5 Networks"},
+		{Incapsula, ".incapdns.net", ".incapdns.net", "Incapsula"},
+		{Level3, ".level3dns.net", ".footprint.net", "Level 3"},
+		{Neustar, ".ultradns.net", ".ultracdn.net", "Neustar"},
+		{Verisign, ".verisigndns.com", ".verisign-scrubbing.com", "Verisign"},
+		{VirtualRoad, ".virtualroad.org", ".deflect.virtualroad.org", "VirtualRoad"},
+	}
+}
+
+// Detector resolves A records to providers via the address plan.
+type Detector struct {
+	fps      []Fingerprint
+	asnByFP  []ipmeta.ASN
+	haveASNs bool
+}
+
+// NewDetector builds a detector; plan may be nil, disabling A-record
+// (BGP-diversion) detection.
+func NewDetector(plan *ipmeta.Plan) *Detector {
+	d := &Detector{fps: Fingerprints()}
+	if plan != nil {
+		d.asnByFP = make([]ipmeta.ASN, len(d.fps))
+		for i, fp := range d.fps {
+			if asn, ok := plan.ASNByName(fp.ASName); ok {
+				d.asnByFP[i] = asn
+			}
+		}
+		d.haveASNs = true
+	}
+	return d
+}
+
+// DNSState is the per-domain DNS view the detector inspects: the domain's
+// NS record targets, the CNAME chain of its www label (if any), and the
+// origin AS of the A record the www label finally resolves to.
+type DNSState struct {
+	NS    []string
+	CNAME string
+	AASN  ipmeta.ASN
+}
+
+// Detect returns the provider a domain outsources to, or None. NS evidence
+// wins over CNAME evidence, which wins over BGP (A record) evidence,
+// mirroring the confidence ordering of the IMC'16 methodology.
+func (d *Detector) Detect(s DNSState) Provider {
+	for i := range d.fps {
+		for _, ns := range s.NS {
+			if hasSuffixFold(ns, d.fps[i].NSSuffix) {
+				return d.fps[i].Provider
+			}
+		}
+		_ = i
+	}
+	if s.CNAME != "" {
+		for i := range d.fps {
+			if hasSuffixFold(s.CNAME, d.fps[i].CNAMESuffix) {
+				return d.fps[i].Provider
+			}
+		}
+	}
+	if d.haveASNs && s.AASN != 0 {
+		for i := range d.fps {
+			if d.asnByFP[i] != 0 && d.asnByFP[i] == s.AASN {
+				return d.fps[i].Provider
+			}
+		}
+	}
+	return None
+}
+
+func hasSuffixFold(s, suffix string) bool {
+	return len(s) >= len(suffix) && strings.EqualFold(s[len(s)-len(suffix):], suffix)
+}
+
+// NameServer returns a plausible NS target for a provider (used by the
+// synthetic Web model when a domain adopts the provider).
+func NameServer(p Provider) string {
+	for _, fp := range Fingerprints() {
+		if fp.Provider == p {
+			return "ns1" + fp.NSSuffix
+		}
+	}
+	return ""
+}
+
+// CNAMETarget returns a plausible www CNAME expansion for a provider.
+func CNAMETarget(p Provider, token string) string {
+	for _, fp := range Fingerprints() {
+		if fp.Provider == p {
+			return token + fp.CNAMESuffix
+		}
+	}
+	return ""
+}
+
+// ASName returns the provider's network name in the address plan.
+func ASName(p Provider) string {
+	for _, fp := range Fingerprints() {
+		if fp.Provider == p {
+			return fp.ASName
+		}
+	}
+	return ""
+}

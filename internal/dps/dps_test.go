@@ -1,0 +1,88 @@
+package dps
+
+import (
+	"testing"
+
+	"doscope/internal/ipmeta"
+)
+
+func testPlan(t *testing.T) *ipmeta.Plan {
+	t.Helper()
+	plan, err := ipmeta.BuildPlan(ipmeta.PlanConfig{Seed: 1, NumSixteens: 512, NumActive24: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+func TestDetectByNS(t *testing.T) {
+	d := NewDetector(nil)
+	got := d.Detect(DNSState{NS: []string{"ns1.ns.cloudflare.com"}})
+	if got != CloudFlare {
+		t.Errorf("NS detection = %v", got)
+	}
+	got = d.Detect(DNSState{NS: []string{"ns1.hoster.net", "NS2.ULTRADNS.NET"}})
+	if got != Neustar {
+		t.Errorf("case-insensitive NS detection = %v", got)
+	}
+}
+
+func TestDetectByCNAME(t *testing.T) {
+	d := NewDetector(nil)
+	got := d.Detect(DNSState{NS: []string{"ns1.hoster.net"}, CNAME: "u123.incapdns.net"})
+	if got != Incapsula {
+		t.Errorf("CNAME detection = %v", got)
+	}
+}
+
+func TestDetectByASN(t *testing.T) {
+	plan := testPlan(t)
+	d := NewDetector(plan)
+	asn, ok := plan.ASNByName("DOSarrest")
+	if !ok {
+		t.Fatal("no DOSarrest AS in plan")
+	}
+	got := d.Detect(DNSState{NS: []string{"ns1.hoster.net"}, AASN: asn})
+	if got != DOSarrest {
+		t.Errorf("ASN detection = %v", got)
+	}
+}
+
+func TestDetectNone(t *testing.T) {
+	plan := testPlan(t)
+	d := NewDetector(plan)
+	got := d.Detect(DNSState{NS: []string{"ns1.godaddy-dns.net"}, CNAME: "u1.wix-sites.com", AASN: 64512})
+	if got != None {
+		t.Errorf("unprotected site detected as %v", got)
+	}
+}
+
+func TestNSBeatsCNAME(t *testing.T) {
+	d := NewDetector(nil)
+	got := d.Detect(DNSState{NS: []string{"a.akam.net"}, CNAME: "u1.incapdns.net"})
+	if got != Akamai {
+		t.Errorf("precedence: %v, want Akamai (NS evidence wins)", got)
+	}
+}
+
+func TestAllProvidersHaveFingerprints(t *testing.T) {
+	if len(All()) != NumProviders {
+		t.Fatalf("All() = %d providers", len(All()))
+	}
+	d := NewDetector(testPlan(t))
+	for _, p := range All() {
+		if p.String() == "provider-?" {
+			t.Errorf("provider %d has no name", p)
+		}
+		if NameServer(p) == "" || CNAMETarget(p, "x") == "" || ASName(p) == "" {
+			t.Errorf("provider %v fingerprint incomplete", p)
+		}
+		// Round trip: the synthetic NS/CNAME must detect as the provider.
+		if got := d.Detect(DNSState{NS: []string{NameServer(p)}}); got != p {
+			t.Errorf("NS round trip for %v = %v", p, got)
+		}
+		if got := d.Detect(DNSState{CNAME: CNAMETarget(p, "u7")}); got != p {
+			t.Errorf("CNAME round trip for %v = %v", p, got)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+// Package ipmeta provides the target-metadata substrates the paper layers
+// onto attack events: IP geolocation (a NetAcuity Edge substitute built on
+// non-overlapping address ranges) and BGP prefix-to-AS mapping (a
+// Routeviews pfx2as substitute built on a longest-prefix-match radix
+// trie), plus a generator for a synthetic Internet address plan that the
+// simulator samples attack targets from.
+package ipmeta
+
+import (
+	"fmt"
+	"sort"
+
+	"doscope/internal/netx"
+)
+
+// Country is a two-letter country code such as "US".
+type Country [2]byte
+
+// CC builds a Country from a string; it panics unless len(s) == 2.
+func CC(s string) Country {
+	if len(s) != 2 {
+		panic(fmt.Sprintf("ipmeta: invalid country code %q", s))
+	}
+	return Country{s[0], s[1]}
+}
+
+// String returns the two-letter code.
+func (c Country) String() string { return string(c[:]) }
+
+// IsZero reports whether the country is unset.
+func (c Country) IsZero() bool { return c == Country{} }
+
+// GeoRange maps a contiguous address range to a country.
+type GeoRange struct {
+	First, Last netx.Addr
+	Country     Country
+}
+
+// GeoDB is an immutable range-based IP geolocation database. Lookups are
+// O(log n) binary searches over sorted, non-overlapping ranges.
+type GeoDB struct {
+	firsts []netx.Addr
+	lasts  []netx.Addr
+	cc     []Country
+}
+
+// NewGeoDB builds a database from ranges. Ranges are sorted; overlapping
+// or inverted ranges are rejected.
+func NewGeoDB(ranges []GeoRange) (*GeoDB, error) {
+	sorted := make([]GeoRange, len(ranges))
+	copy(sorted, ranges)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].First < sorted[j].First })
+	db := &GeoDB{
+		firsts: make([]netx.Addr, len(sorted)),
+		lasts:  make([]netx.Addr, len(sorted)),
+		cc:     make([]Country, len(sorted)),
+	}
+	var prevLast netx.Addr
+	for i, r := range sorted {
+		if r.Last < r.First {
+			return nil, fmt.Errorf("ipmeta: inverted range %v-%v", r.First, r.Last)
+		}
+		if i > 0 && r.First <= prevLast {
+			return nil, fmt.Errorf("ipmeta: overlapping ranges at %v", r.First)
+		}
+		prevLast = r.Last
+		db.firsts[i] = r.First
+		db.lasts[i] = r.Last
+		db.cc[i] = r.Country
+	}
+	return db, nil
+}
+
+// Lookup returns the country for an address, if any range covers it.
+func (db *GeoDB) Lookup(a netx.Addr) (Country, bool) {
+	// Find the first range whose First is > a, then check the one before.
+	i := sort.Search(len(db.firsts), func(i int) bool { return db.firsts[i] > a })
+	if i == 0 {
+		return Country{}, false
+	}
+	i--
+	if a > db.lasts[i] {
+		return Country{}, false
+	}
+	return db.cc[i], true
+}
+
+// Len returns the number of ranges.
+func (db *GeoDB) Len() int { return len(db.firsts) }

@@ -1,0 +1,233 @@
+package openintel
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"doscope/internal/dnswire"
+	"doscope/internal/dnszone"
+	"doscope/internal/dps"
+	"doscope/internal/ipmeta"
+	"doscope/internal/netx"
+	"doscope/internal/webmodel"
+)
+
+// Resolver issues one DNS query. Implementations must be safe for
+// concurrent use.
+type Resolver interface {
+	Query(name string, t dnswire.Type) (*dnswire.Message, error)
+}
+
+// WireResolver queries an authoritative server over UDP with timeouts,
+// retries, and transaction-ID validation.
+type WireResolver struct {
+	ServerAddr string
+	Timeout    time.Duration // per attempt; default 2s
+	Retries    int           // default 2
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewWireResolver creates a resolver for the given "host:port".
+func NewWireResolver(serverAddr string) *WireResolver {
+	return &WireResolver{
+		ServerAddr: serverAddr,
+		Timeout:    2 * time.Second,
+		Retries:    2,
+		rng:        rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+}
+
+func (r *WireResolver) nextID() uint16 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return uint16(r.rng.Intn(1 << 16))
+}
+
+// Query implements Resolver.
+func (r *WireResolver) Query(name string, t dnswire.Type) (*dnswire.Message, error) {
+	q := dnswire.Message{
+		Header:    dnswire.Header{ID: r.nextID(), RecursionDesired: false},
+		Questions: []dnswire.Question{{Name: name, Type: t, Class: dnswire.ClassIN}},
+	}
+	wire, err := q.Pack()
+	if err != nil {
+		return nil, err
+	}
+	var lastErr error
+	for attempt := 0; attempt <= r.Retries; attempt++ {
+		conn, err := net.Dial("udp", r.ServerAddr)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := r.exchange(conn, wire, q.Header.ID)
+		conn.Close()
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("openintel: query %s %v: %w", name, t, lastErr)
+}
+
+func (r *WireResolver) exchange(conn net.Conn, wire []byte, id uint16) (*dnswire.Message, error) {
+	if err := conn.SetDeadline(time.Now().Add(r.Timeout)); err != nil {
+		return nil, err
+	}
+	if _, err := conn.Write(wire); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 4096)
+	for {
+		n, err := conn.Read(buf)
+		if err != nil {
+			return nil, err
+		}
+		var m dnswire.Message
+		if err := m.Unpack(buf[:n]); err != nil {
+			continue // junk datagram; keep waiting until deadline
+		}
+		if m.Header.ID != id || !m.Header.Response {
+			continue // mismatched transaction: ignore (spoofing guard)
+		}
+		return &m, nil
+	}
+}
+
+// Observation is one domain-day measurement: what the platform learned by
+// querying the domain structurally.
+type Observation struct {
+	Domain     string
+	WWWAddr    netx.Addr
+	HasAddr    bool
+	CNAME      string
+	NS         []string
+	DataPoints int
+}
+
+// Walker performs the per-domain structural measurement: an A query on the
+// www label (capturing CNAME expansions) and an NS query on the registered
+// domain — the records the paper's analyses need.
+type Walker struct {
+	Resolver Resolver
+}
+
+// MeasureDomain measures one registered domain.
+func (w *Walker) MeasureDomain(domain string) (Observation, error) {
+	obs := Observation{Domain: domain}
+	aResp, err := w.Resolver.Query("www."+domain, dnswire.TypeA)
+	if err != nil {
+		return obs, err
+	}
+	for _, rr := range aResp.Answers {
+		obs.DataPoints++
+		switch rr.Type {
+		case dnswire.TypeCNAME:
+			obs.CNAME = rr.Target
+		case dnswire.TypeA:
+			obs.WWWAddr = rr.Addr
+			obs.HasAddr = true
+		}
+	}
+	nsResp, err := w.Resolver.Query(domain, dnswire.TypeNS)
+	if err != nil {
+		return obs, err
+	}
+	for _, rr := range nsResp.Answers {
+		if rr.Type == dnswire.TypeNS {
+			obs.NS = append(obs.NS, rr.Target)
+			obs.DataPoints++
+		}
+	}
+	return obs, nil
+}
+
+// Measure walks a list of domains with bounded concurrency, preserving
+// input order in the result.
+func (w *Walker) Measure(domains []string, concurrency int) ([]Observation, error) {
+	if concurrency < 1 {
+		concurrency = 8
+	}
+	out := make([]Observation, len(domains))
+	errs := make([]error, len(domains))
+	sem := make(chan struct{}, concurrency)
+	var wg sync.WaitGroup
+	for i := range domains {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			out[i], errs[i] = w.MeasureDomain(domains[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// DetectProvider classifies one observation with the DPS methodology.
+func DetectProvider(det *dps.Detector, obs Observation, plan *ipmeta.Plan) dps.Provider {
+	st := dps.DNSState{NS: obs.NS, CNAME: obs.CNAME}
+	if obs.HasAddr && plan != nil {
+		if asn, ok := plan.ASOf(obs.WWWAddr); ok {
+			st.AASN = asn
+		}
+	}
+	return det.Detect(st)
+}
+
+// ZonesForDay materializes authoritative zone files for the synthetic Web
+// population as they would look on the given day, for serving with
+// dnsserver. Intended for integration tests and examples; materializing
+// all 731 days at full scale is exactly the data volume the paper's
+// Table 2 reports, so callers should restrict the domain set.
+func ZonesForDay(pop *webmodel.Population, day int, domainIDs []uint32) (map[string]*dnszone.Zone, error) {
+	zones := map[string]*dnszone.Zone{
+		"com": dnszone.New("com"),
+		"net": dnszone.New("net"),
+		"org": dnszone.New("org"),
+	}
+	for _, id := range domainIDs {
+		if !pop.Alive(id, day) {
+			continue
+		}
+		d := &pop.Domains[id]
+		zone := zones[d.TLD.String()]
+		name := pop.DomainName(id)
+		st := pop.DNSStateOf(id, day)
+		for _, ns := range st.NS {
+			if err := zone.Add(dnswire.RR{Name: name, Type: dnswire.TypeNS, TTL: 86400, Target: ns}); err != nil {
+				return nil, err
+			}
+		}
+		www := "www." + name
+		addr := pop.AddrOf(id, day)
+		if st.CNAME != "" {
+			if err := zone.Add(dnswire.RR{Name: www, Type: dnswire.TypeCNAME, TTL: 300, Target: st.CNAME}); err != nil {
+				return nil, err
+			}
+			// The chain target lives outside the measured zone in general;
+			// host it here when it happens to fall inside.
+			target := dnswire.NormalizeName(st.CNAME)
+			if zone.Contains(target) {
+				if err := zone.Add(dnswire.RR{Name: target, Type: dnswire.TypeA, TTL: 300, Addr: addr}); err != nil {
+					return nil, err
+				}
+			}
+		} else {
+			if err := zone.Add(dnswire.RR{Name: www, Type: dnswire.TypeA, TTL: 300, Addr: addr}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return zones, nil
+}

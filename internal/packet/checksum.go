@@ -1,0 +1,35 @@
+package packet
+
+import "doscope/internal/netx"
+
+// Checksum computes the Internet checksum (RFC 1071) over data with the
+// given initial partial sum. The initial value allows folding in a
+// pseudo-header computed with PseudoHeaderSum.
+func Checksum(data []byte, initial uint32) uint16 {
+	sum := initial
+	n := len(data)
+	for i := 0; i+1 < n; i += 2 {
+		sum += uint32(data[i])<<8 | uint32(data[i+1])
+	}
+	if n%2 == 1 {
+		sum += uint32(data[n-1]) << 8
+	}
+	for sum > 0xffff {
+		sum = (sum >> 16) + (sum & 0xffff)
+	}
+	return ^uint16(sum)
+}
+
+// PseudoHeaderSum returns the partial checksum of the IPv4 pseudo-header
+// used by TCP and UDP: source, destination, zero/protocol, and the
+// transport-layer length.
+func PseudoHeaderSum(src, dst netx.Addr, proto IPProtocol, length int) uint32 {
+	var sum uint32
+	sum += uint32(src >> 16)
+	sum += uint32(src & 0xffff)
+	sum += uint32(dst >> 16)
+	sum += uint32(dst & 0xffff)
+	sum += uint32(proto)
+	sum += uint32(length)
+	return sum
+}

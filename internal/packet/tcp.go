@@ -1,0 +1,140 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"doscope/internal/netx"
+)
+
+// TCPFlags is the TCP flag byte (plus NS, unused here).
+type TCPFlags uint16
+
+// TCP flag bits.
+const (
+	TCPFin TCPFlags = 1 << 0
+	TCPSyn TCPFlags = 1 << 1
+	TCPRst TCPFlags = 1 << 2
+	TCPPsh TCPFlags = 1 << 3
+	TCPAck TCPFlags = 1 << 4
+	TCPUrg TCPFlags = 1 << 5
+	TCPEce TCPFlags = 1 << 6
+	TCPCwr TCPFlags = 1 << 7
+)
+
+// String lists the set flags, e.g. "SYN|ACK".
+func (f TCPFlags) String() string {
+	names := []struct {
+		bit  TCPFlags
+		name string
+	}{
+		{TCPFin, "FIN"}, {TCPSyn, "SYN"}, {TCPRst, "RST"}, {TCPPsh, "PSH"},
+		{TCPAck, "ACK"}, {TCPUrg, "URG"}, {TCPEce, "ECE"}, {TCPCwr, "CWR"},
+	}
+	var parts []string
+	for _, n := range names {
+		if f&n.bit != 0 {
+			parts = append(parts, n.name)
+		}
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, "|")
+}
+
+// TCP is a TCP header.
+type TCP struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	DataOffset       uint8 // header length in 32-bit words
+	Flags            TCPFlags
+	Window           uint16
+	Checksum         uint16
+	Urgent           uint16
+	Options          []byte
+
+	payload              []byte
+	pseudoSrc, pseudoDst netx.Addr
+	havePseudo           bool
+}
+
+// DecodeFromBytes parses a TCP header from the start of data.
+func (t *TCP) DecodeFromBytes(data []byte) error {
+	if len(data) < 20 {
+		return ErrTruncated
+	}
+	t.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	t.DstPort = binary.BigEndian.Uint16(data[2:4])
+	t.Seq = binary.BigEndian.Uint32(data[4:8])
+	t.Ack = binary.BigEndian.Uint32(data[8:12])
+	t.DataOffset = data[12] >> 4
+	hdrLen := int(t.DataOffset) * 4
+	if hdrLen < 20 {
+		return fmt.Errorf("%w: TCP data offset %d", ErrMalformed, t.DataOffset)
+	}
+	if len(data) < hdrLen {
+		return ErrTruncated
+	}
+	t.Flags = TCPFlags(data[13])
+	t.Window = binary.BigEndian.Uint16(data[14:16])
+	t.Checksum = binary.BigEndian.Uint16(data[16:18])
+	t.Urgent = binary.BigEndian.Uint16(data[18:20])
+	if hdrLen > 20 {
+		t.Options = data[20:hdrLen]
+	} else {
+		t.Options = nil
+	}
+	t.payload = data[hdrLen:]
+	return nil
+}
+
+// Payload returns the TCP segment payload.
+func (t *TCP) Payload() []byte { return t.payload }
+
+// SetNetworkLayer records the addresses used for the pseudo-header
+// checksum; call it before SerializeTo with ComputeChecksums.
+func (t *TCP) SetNetworkLayer(src, dst netx.Addr) {
+	t.pseudoSrc, t.pseudoDst = src, dst
+	t.havePseudo = true
+}
+
+// VerifyChecksum checks the transport checksum against the pseudo-header
+// for the given addresses. segment must be the full TCP header+payload as
+// received.
+func (t *TCP) VerifyChecksum(src, dst netx.Addr, segment []byte) bool {
+	sum := PseudoHeaderSum(src, dst, ProtocolTCP, len(segment))
+	return Checksum(segment, sum) == 0
+}
+
+// SerializeTo implements SerializableLayer. ComputeChecksums requires a
+// prior SetNetworkLayer call.
+func (t *TCP) SerializeTo(b *SerializeBuffer, opts SerializeOptions) error {
+	if len(t.Options)%4 != 0 {
+		return fmt.Errorf("%w: TCP options length %d not a multiple of 4", ErrMalformed, len(t.Options))
+	}
+	hdrLen := 20 + len(t.Options)
+	segLen := hdrLen + len(b.Bytes())
+	bytes := b.PrependBytes(hdrLen)
+	t.DataOffset = uint8(hdrLen / 4)
+	binary.BigEndian.PutUint16(bytes[0:2], t.SrcPort)
+	binary.BigEndian.PutUint16(bytes[2:4], t.DstPort)
+	binary.BigEndian.PutUint32(bytes[4:8], t.Seq)
+	binary.BigEndian.PutUint32(bytes[8:12], t.Ack)
+	bytes[12] = t.DataOffset << 4
+	bytes[13] = uint8(t.Flags)
+	binary.BigEndian.PutUint16(bytes[14:16], t.Window)
+	binary.BigEndian.PutUint16(bytes[18:20], t.Urgent)
+	copy(bytes[20:], t.Options)
+	if opts.ComputeChecksums {
+		if !t.havePseudo {
+			return fmt.Errorf("packet: TCP ComputeChecksums without SetNetworkLayer")
+		}
+		binary.BigEndian.PutUint16(bytes[16:18], 0)
+		sum := PseudoHeaderSum(t.pseudoSrc, t.pseudoDst, ProtocolTCP, segLen)
+		t.Checksum = Checksum(b.Bytes(), sum)
+	}
+	binary.BigEndian.PutUint16(bytes[16:18], t.Checksum)
+	return nil
+}

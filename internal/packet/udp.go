@@ -1,0 +1,82 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"doscope/internal/netx"
+)
+
+// UDP is a UDP header.
+type UDP struct {
+	SrcPort, DstPort uint16
+	Length           uint16
+	Checksum         uint16
+
+	payload              []byte
+	pseudoSrc, pseudoDst netx.Addr
+	havePseudo           bool
+}
+
+// DecodeFromBytes parses a UDP header from the start of data.
+func (u *UDP) DecodeFromBytes(data []byte) error {
+	if len(data) < 8 {
+		return ErrTruncated
+	}
+	u.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	u.DstPort = binary.BigEndian.Uint16(data[2:4])
+	u.Length = binary.BigEndian.Uint16(data[4:6])
+	u.Checksum = binary.BigEndian.Uint16(data[6:8])
+	end := int(u.Length)
+	if end < 8 || end > len(data) {
+		end = len(data)
+	}
+	u.payload = data[8:end]
+	return nil
+}
+
+// Payload returns the UDP datagram payload.
+func (u *UDP) Payload() []byte { return u.payload }
+
+// SetNetworkLayer records the addresses used for the pseudo-header
+// checksum; call it before SerializeTo with ComputeChecksums.
+func (u *UDP) SetNetworkLayer(src, dst netx.Addr) {
+	u.pseudoSrc, u.pseudoDst = src, dst
+	u.havePseudo = true
+}
+
+// VerifyChecksum checks the transport checksum against the pseudo-header.
+// datagram must be the full UDP header+payload. A zero checksum means
+// "not computed" in UDP over IPv4 and is accepted.
+func (u *UDP) VerifyChecksum(src, dst netx.Addr, datagram []byte) bool {
+	if u.Checksum == 0 {
+		return true
+	}
+	sum := PseudoHeaderSum(src, dst, ProtocolUDP, len(datagram))
+	return Checksum(datagram, sum) == 0
+}
+
+// SerializeTo implements SerializableLayer.
+func (u *UDP) SerializeTo(b *SerializeBuffer, opts SerializeOptions) error {
+	dgramLen := 8 + len(b.Bytes())
+	bytes := b.PrependBytes(8)
+	if opts.FixLengths {
+		u.Length = uint16(dgramLen)
+	}
+	binary.BigEndian.PutUint16(bytes[0:2], u.SrcPort)
+	binary.BigEndian.PutUint16(bytes[2:4], u.DstPort)
+	binary.BigEndian.PutUint16(bytes[4:6], u.Length)
+	if opts.ComputeChecksums {
+		if !u.havePseudo {
+			return fmt.Errorf("packet: UDP ComputeChecksums without SetNetworkLayer")
+		}
+		binary.BigEndian.PutUint16(bytes[6:8], 0)
+		sum := PseudoHeaderSum(u.pseudoSrc, u.pseudoDst, ProtocolUDP, dgramLen)
+		u.Checksum = Checksum(b.Bytes(), sum)
+		if u.Checksum == 0 {
+			u.Checksum = 0xffff // RFC 768: transmitted as all ones
+		}
+	}
+	binary.BigEndian.PutUint16(bytes[6:8], u.Checksum)
+	return nil
+}

@@ -1,0 +1,182 @@
+package pcap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+	"time"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, LinkTypeRaw, 65535)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2015, 3, 1, 0, 0, 0, 123456000, time.UTC)
+	packets := [][]byte{
+		{0x45, 0x00, 0x00, 0x14},
+		{0xde, 0xad},
+		bytes.Repeat([]byte{0xaa}, 1500),
+	}
+	for i, p := range packets {
+		if err := w.WritePacket(base.Add(time.Duration(i)*time.Second), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LinkType() != LinkTypeRaw {
+		t.Errorf("LinkType = %d", r.LinkType())
+	}
+	for i, want := range packets {
+		h, data, err := r.Next()
+		if err != nil {
+			t.Fatalf("packet %d: %v", i, err)
+		}
+		if !bytes.Equal(data, want) {
+			t.Errorf("packet %d data mismatch (%d vs %d bytes)", i, len(data), len(want))
+		}
+		wantTS := base.Add(time.Duration(i) * time.Second)
+		if !h.Timestamp.Equal(wantTS) {
+			t.Errorf("packet %d ts = %v, want %v", i, h.Timestamp, wantTS)
+		}
+		if h.OriginalLength != len(want) {
+			t.Errorf("packet %d origlen = %d", i, h.OriginalLength)
+		}
+	}
+	if _, _, err := r.Next(); err != io.EOF {
+		t.Errorf("expected io.EOF at end, got %v", err)
+	}
+}
+
+func TestSnaplenTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, LinkTypeRaw, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long := bytes.Repeat([]byte{1}, 100)
+	if err := w.WritePacket(time.Unix(0, 0), long); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, data, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 16 || h.CaptureLength != 16 {
+		t.Errorf("caplen = %d", len(data))
+	}
+	if h.OriginalLength != 100 {
+		t.Errorf("origlen = %d", h.OriginalLength)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader(make([]byte, 24))); err != ErrBadMagic {
+		t.Errorf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestTruncatedGlobalHeader(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader(make([]byte, 10))); err == nil {
+		t.Error("truncated global header accepted")
+	}
+}
+
+func TestBigEndianRead(t *testing.T) {
+	// Hand-craft a big-endian (swapped-magic) microsecond capture.
+	var buf bytes.Buffer
+	gh := make([]byte, 24)
+	binary.BigEndian.PutUint32(gh[0:4], magicMicros)
+	binary.BigEndian.PutUint16(gh[4:6], 2)
+	binary.BigEndian.PutUint16(gh[6:8], 4)
+	binary.BigEndian.PutUint32(gh[16:20], 65535)
+	binary.BigEndian.PutUint32(gh[20:24], LinkTypeEthernet)
+	buf.Write(gh)
+	rec := make([]byte, 16)
+	binary.BigEndian.PutUint32(rec[0:4], 1000)
+	binary.BigEndian.PutUint32(rec[4:8], 500000)
+	binary.BigEndian.PutUint32(rec[8:12], 2)
+	binary.BigEndian.PutUint32(rec[12:16], 2)
+	buf.Write(rec)
+	buf.Write([]byte{0xca, 0xfe})
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LinkType() != LinkTypeEthernet {
+		t.Errorf("LinkType = %d", r.LinkType())
+	}
+	h, data, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Timestamp.Equal(time.Unix(1000, 500000000).UTC()) {
+		t.Errorf("ts = %v", h.Timestamp)
+	}
+	if !bytes.Equal(data, []byte{0xca, 0xfe}) {
+		t.Errorf("data = %x", data)
+	}
+}
+
+func TestNanosecondMagic(t *testing.T) {
+	var buf bytes.Buffer
+	gh := make([]byte, 24)
+	binary.LittleEndian.PutUint32(gh[0:4], magicNanos)
+	binary.LittleEndian.PutUint16(gh[4:6], 2)
+	binary.LittleEndian.PutUint16(gh[6:8], 4)
+	binary.LittleEndian.PutUint32(gh[16:20], 65535)
+	binary.LittleEndian.PutUint32(gh[20:24], LinkTypeRaw)
+	buf.Write(gh)
+	rec := make([]byte, 16)
+	binary.LittleEndian.PutUint32(rec[0:4], 7)
+	binary.LittleEndian.PutUint32(rec[4:8], 42) // 42 ns
+	binary.LittleEndian.PutUint32(rec[8:12], 1)
+	binary.LittleEndian.PutUint32(rec[12:16], 1)
+	buf.Write(rec)
+	buf.WriteByte(0xff)
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Timestamp.Equal(time.Unix(7, 42).UTC()) {
+		t.Errorf("ts = %v, want 7s+42ns", h.Timestamp)
+	}
+}
+
+func TestTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, LinkTypeRaw, 65535)
+	_ = w.WritePacket(time.Unix(0, 0), []byte{1, 2, 3, 4})
+	_ = w.Flush()
+	full := buf.Bytes()
+	// Drop the final byte of packet data.
+	r, err := NewReader(bytes.NewReader(full[:len(full)-1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Next(); err == nil || err == io.EOF {
+		t.Errorf("truncated record: err = %v, want read error", err)
+	}
+}

@@ -1,0 +1,94 @@
+package report
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"doscope/internal/core"
+	"doscope/internal/dossim"
+	"doscope/internal/stats"
+)
+
+var (
+	once  sync.Once
+	dsVal *core.Dataset
+	dsErr error
+)
+
+func dataset(t *testing.T) *core.Dataset {
+	t.Helper()
+	once.Do(func() {
+		sc, err := dossim.Generate(dossim.Config{Seed: 42, Scale: 0.0003})
+		if err != nil {
+			dsErr = err
+			return
+		}
+		dsVal = core.New(sc.Telescope, sc.Honeypot, sc.Plan, sc.History, sc.Cfg.WindowDays)
+	})
+	if dsErr != nil {
+		t.Fatal(dsErr)
+	}
+	return dsVal
+}
+
+func TestAllSectionsPresent(t *testing.T) {
+	out := All(dataset(t))
+	for _, want := range []string{
+		"Table 1", "Table 2", "Table 3", "Table 4a", "Table 4b",
+		"Table 5", "Table 6", "Table 7", "Table 8a", "Table 8b", "Table 9",
+		"Figure 1", "Figure 2", "Figure 3", "Figure 4", "Figure 5",
+		"Figure 6", "Figure 7", "Figure 8", "Figure 9", "Figure 10", "Figure 11",
+		"Joint attacks", "Web impact",
+		"Network Telescope", "Amplification Honeypot", "Combined",
+		"NTP", "CloudFlare", "preexisting",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	out := Table1(dataset(t).Table1())
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // title, header, rule, 3 rows
+		t.Fatalf("Table1 lines = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 8)
+	if len([]rune(s)) != 8 {
+		t.Errorf("sparkline width = %d", len([]rune(s)))
+	}
+	if s != "▁▂▃▄▅▆▇█" {
+		t.Errorf("sparkline = %q", s)
+	}
+	if sparkline(nil, 10) != "" {
+		t.Error("empty series should render empty")
+	}
+	wide := sparkline([]float64{1, 2}, 10)
+	if len([]rune(wide)) != 2 {
+		t.Errorf("short series sparkline = %q", wide)
+	}
+}
+
+func TestFigure6Rendering(t *testing.T) {
+	h := stats.NewLogHistogram([]int{1, 1, 5, 50, 5000})
+	out := Figure6(h)
+	for _, want := range []string{"n=1", "1<n<=10", "2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure6 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEmptyDatasetDoesNotPanic(t *testing.T) {
+	ds := dataset(t)
+	bare := core.New(ds.Telescope, ds.Honeypot, ds.Plan, nil, ds.WindowDays)
+	out := All(bare)
+	if !strings.Contains(out, "Table 1") {
+		t.Error("bare report broken")
+	}
+}

@@ -1,0 +1,286 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestCDFBasics(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 2, 3, 10})
+	if c.Len() != 5 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	cases := []struct {
+		x    float64
+		want float64
+	}{
+		{0.5, 0}, {1, 0.2}, {2, 0.6}, {3, 0.8}, {9.99, 0.8}, {10, 1}, {11, 1},
+	}
+	for _, cse := range cases {
+		if got := c.At(cse.x); math.Abs(got-cse.want) > 1e-12 {
+			t.Errorf("At(%v) = %v, want %v", cse.x, got, cse.want)
+		}
+	}
+	if got := c.Median(); got != 2 {
+		t.Errorf("Median = %v", got)
+	}
+	if got := c.Mean(); math.Abs(got-3.6) > 1e-12 {
+		t.Errorf("Mean = %v", got)
+	}
+	if c.Min() != 1 || c.Max() != 10 {
+		t.Errorf("Min/Max = %v/%v", c.Min(), c.Max())
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	c := NewCDF(nil)
+	if c.At(5) != 0 {
+		t.Error("empty CDF At != 0")
+	}
+	if !math.IsNaN(c.Quantile(0.5)) {
+		t.Error("empty CDF quantile not NaN")
+	}
+	if !math.IsNaN(c.Mean()) {
+		t.Error("empty CDF mean not NaN")
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	f := func(raw []float64) bool {
+		vals := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		c := NewCDF(vals)
+		xs := append([]float64(nil), vals...)
+		sort.Float64s(xs)
+		prev := 0.0
+		for _, x := range xs {
+			y := c.At(x)
+			if y < prev || y < 0 || y > 1 {
+				return false
+			}
+			prev = y
+		}
+		return c.At(xs[len(xs)-1]) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantileNearestRank(t *testing.T) {
+	c := NewCDF([]float64{10, 20, 30, 40})
+	if got := c.Quantile(0.25); got != 10 {
+		t.Errorf("Q(0.25) = %v", got)
+	}
+	if got := c.Quantile(0.26); got != 20 {
+		t.Errorf("Q(0.26) = %v", got)
+	}
+	if got := c.Quantile(1); got != 40 {
+		t.Errorf("Q(1) = %v", got)
+	}
+	if got := c.Quantile(0); got != 10 {
+		t.Errorf("Q(0) = %v", got)
+	}
+}
+
+func TestQuantileAtInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	vals := make([]float64, 500)
+	for i := range vals {
+		vals[i] = rng.ExpFloat64() * 100
+	}
+	c := NewCDF(vals)
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.9, 0.99} {
+		x := c.Quantile(q)
+		if got := c.At(x); got < q-1e-9 {
+			t.Errorf("At(Quantile(%v)) = %v < %v", q, got, q)
+		}
+	}
+}
+
+func TestLogHistogram(t *testing.T) {
+	h := NewLogHistogram([]int{1, 1, 2, 10, 11, 100, 101, 1000, 5000, 0, -3})
+	// bins: n=1 ->2 ; (1,10] -> {2,10} =2 ; (10,100] -> {11,100} =2 ;
+	// (100,1000] -> {101,1000} =2 ; (1000,10000] -> {5000} =1
+	want := []int{2, 2, 2, 2, 1}
+	if len(h.Counts) != len(want) {
+		t.Fatalf("Counts = %v", h.Counts)
+	}
+	for i, w := range want {
+		if h.Counts[i] != w {
+			t.Errorf("bin %d (%s) = %d, want %d", i, h.BinLabel(i), h.Counts[i], w)
+		}
+	}
+	if h.BinLabel(0) != "n=1" || h.BinLabel(1) != "1<n<=10" {
+		t.Errorf("labels: %q %q", h.BinLabel(0), h.BinLabel(1))
+	}
+}
+
+func TestLogHistogramBoundaries(t *testing.T) {
+	// Powers of ten land in the bin they close.
+	h := &LogHistogram{}
+	h.Add(10)
+	h.Add(100)
+	h.Add(1000)
+	if h.Counts[1] != 1 || h.Counts[2] != 1 || h.Counts[3] != 1 {
+		t.Errorf("Counts = %v", h.Counts)
+	}
+}
+
+func TestDaily(t *testing.T) {
+	d := NewDaily(10)
+	d.Add(0, 5)
+	d.Add(0, 3)
+	d.Add(9, 2)
+	d.Add(10, 100) // out of window: dropped
+	d.Add(-1, 100)
+	if d.Values[0] != 8 || d.Values[9] != 2 {
+		t.Errorf("Values = %v", d.Values)
+	}
+	if got := d.Mean(); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("Mean = %v", got)
+	}
+	max, at := d.Max()
+	if max != 8 || at != 0 {
+		t.Errorf("Max = %v @ %d", max, at)
+	}
+}
+
+func TestCubicSplineInterpolatesKnots(t *testing.T) {
+	xs := []float64{0, 10, 20, 30}
+	ys := []float64{1, 5, 2, 8}
+	s := NewCubicSpline(xs, ys)
+	for i := range xs {
+		if got := s.Eval(xs[i]); math.Abs(got-ys[i]) > 1e-9 {
+			t.Errorf("Eval(%v) = %v, want %v", xs[i], got, ys[i])
+		}
+	}
+}
+
+func TestCubicSplineSmoothBetweenKnots(t *testing.T) {
+	// A spline through samples of a line must reproduce the line.
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := []float64{0, 2, 4, 6, 8}
+	s := NewCubicSpline(xs, ys)
+	for x := -1.0; x <= 5; x += 0.25 {
+		if got := s.Eval(x); math.Abs(got-2*x) > 1e-9 {
+			t.Errorf("Eval(%v) = %v, want %v", x, got, 2*x)
+		}
+	}
+}
+
+func TestCubicSplineDegenerate(t *testing.T) {
+	if got := NewCubicSpline(nil, nil).Eval(5); got != 0 {
+		t.Errorf("empty spline = %v", got)
+	}
+	if got := NewCubicSpline([]float64{1}, []float64{7}).Eval(99); got != 7 {
+		t.Errorf("single-knot spline = %v", got)
+	}
+	two := NewCubicSpline([]float64{0, 10}, []float64{0, 10})
+	if got := two.Eval(5); math.Abs(got-5) > 1e-9 {
+		t.Errorf("two-knot spline = %v", got)
+	}
+}
+
+func TestMonthlyMedianSpline(t *testing.T) {
+	d := NewDaily(90)
+	for i := range d.Values {
+		d.Values[i] = 100
+	}
+	sm := d.MonthlyMedianSpline()
+	if len(sm) != 90 {
+		t.Fatalf("len = %d", len(sm))
+	}
+	for i, v := range sm {
+		if math.Abs(v-100) > 1e-6 {
+			t.Fatalf("smoothed[%d] = %v, want 100", i, v)
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	out := Normalize([]float64{0, 9, 99})
+	if out[0] != 0 {
+		t.Errorf("norm(0) = %v", out[0])
+	}
+	if math.Abs(out[2]-1) > 1e-12 {
+		t.Errorf("norm(max) = %v", out[2])
+	}
+	if out[1] <= out[0] || out[1] >= out[2] {
+		t.Errorf("not monotone: %v", out)
+	}
+	// log scaling: 9 of 99 maps to log(10)/log(100) = 0.5
+	if math.Abs(out[1]-0.5) > 1e-12 {
+		t.Errorf("norm(9) = %v, want 0.5", out[1])
+	}
+	allZero := Normalize([]float64{0, 0})
+	if allZero[0] != 0 || allZero[1] != 0 {
+		t.Errorf("all-zero normalize = %v", allZero)
+	}
+}
+
+func TestNormalizeRange(t *testing.T) {
+	f := func(raw []float64) bool {
+		vals := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				vals = append(vals, math.Abs(v))
+			}
+		}
+		out := Normalize(vals)
+		for _, v := range out {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	vals := []float64{5, 1, 3, 2, 4}
+	if got := Percentile(vals, 50); got != 3 {
+		t.Errorf("P50 = %v", got)
+	}
+	if got := Percentile(vals, 100); got != 5 {
+		t.Errorf("P100 = %v", got)
+	}
+	// input must not be mutated
+	if vals[0] != 5 {
+		t.Error("Percentile mutated input")
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	vals := make([]float64, 100)
+	for i := range vals {
+		vals[i] = float64(i + 1)
+	}
+	pts := NewCDF(vals).Points(10)
+	if len(pts) != 10 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	prevY := -1.0
+	for _, p := range pts {
+		if p.Y < prevY {
+			t.Fatalf("points not monotone: %v", pts)
+		}
+		prevY = p.Y
+	}
+	if pts[len(pts)-1].Y != 1 {
+		t.Errorf("last point Y = %v", pts[len(pts)-1].Y)
+	}
+}

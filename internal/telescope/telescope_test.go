@@ -1,0 +1,407 @@
+package telescope
+
+import (
+	"testing"
+
+	"doscope/internal/attack"
+	"doscope/internal/netx"
+	"doscope/internal/packet"
+)
+
+var darknet = netx.MustParsePrefix("44.0.0.0/8")
+
+func darknetAddr(i uint32) netx.Addr {
+	return darknet.First() + netx.Addr(i%uint32(darknet.NumAddrs()))
+}
+
+// synAck builds victim -> darknet TCP SYN/ACK backscatter from the given
+// victim service port.
+func synAck(t testing.TB, victim netx.Addr, fromPort uint16, dst netx.Addr) []byte {
+	t.Helper()
+	ip := &packet.IPv4{TTL: 60, Protocol: packet.ProtocolTCP, Src: victim, Dst: dst}
+	tcp := &packet.TCP{SrcPort: fromPort, DstPort: 30000, Flags: packet.TCPSyn | packet.TCPAck}
+	tcp.SetNetworkLayer(victim, dst)
+	buf := packet.NewSerializeBuffer()
+	opts := packet.SerializeOptions{FixLengths: true, ComputeChecksums: true}
+	if err := packet.SerializeLayers(buf, opts, ip, tcp); err != nil {
+		t.Fatal(err)
+	}
+	return append([]byte(nil), buf.Bytes()...)
+}
+
+func echoReply(t testing.TB, victim netx.Addr, dst netx.Addr) []byte {
+	t.Helper()
+	ip := &packet.IPv4{TTL: 60, Protocol: packet.ProtocolICMP, Src: victim, Dst: dst}
+	icmp := &packet.ICMPv4{Type: packet.ICMPEchoReply}
+	buf := packet.NewSerializeBuffer()
+	opts := packet.SerializeOptions{FixLengths: true, ComputeChecksums: true}
+	if err := packet.SerializeLayers(buf, opts, ip, icmp, packet.Payload([]byte("abcd"))); err != nil {
+		t.Fatal(err)
+	}
+	return append([]byte(nil), buf.Bytes()...)
+}
+
+// unreachable builds router -> darknet ICMP dest-unreachable quoting a
+// spoofed UDP attack packet darknetSrc -> victim:port.
+func unreachable(t testing.TB, router, victim netx.Addr, port uint16, dst netx.Addr) []byte {
+	t.Helper()
+	quotedIP := &packet.IPv4{TTL: 4, Protocol: packet.ProtocolUDP, Src: dst, Dst: victim}
+	quotedUDP := &packet.UDP{SrcPort: 40000, DstPort: port}
+	quotedUDP.SetNetworkLayer(dst, victim)
+	qbuf := packet.NewSerializeBuffer()
+	opts := packet.SerializeOptions{FixLengths: true, ComputeChecksums: true}
+	if err := packet.SerializeLayers(qbuf, opts, quotedIP, quotedUDP); err != nil {
+		t.Fatal(err)
+	}
+	ip := &packet.IPv4{TTL: 60, Protocol: packet.ProtocolICMP, Src: router, Dst: dst}
+	icmp := &packet.ICMPv4{Type: packet.ICMPDestUnreachable, Code: 1}
+	buf := packet.NewSerializeBuffer()
+	if err := packet.SerializeLayers(buf, opts, ip, icmp, packet.Payload(qbuf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	return append([]byte(nil), buf.Bytes()...)
+}
+
+// feedSynAckFlood pushes n SYN/ACK packets from victim spread over
+// durationSec seconds.
+func feedSynAckFlood(t testing.TB, c *Classifier, victim netx.Addr, port uint16, n int, start, durationSec int64) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		ts := start
+		if n > 1 {
+			ts += int64(i) * durationSec / int64(n-1)
+		}
+		pkt := synAck(t, victim, port, darknetAddr(uint32(i*7919)))
+		if got := c.ProcessPacket(ts, pkt); got != KindBackscatter {
+			t.Fatalf("packet %d classified %v, want backscatter", i, got)
+		}
+	}
+}
+
+func TestSynAckFloodBecomesEvent(t *testing.T) {
+	c := New(DefaultConfig(darknet))
+	victim := netx.MustParseAddr("203.0.113.80")
+	feedSynAckFlood(t, c, victim, 80, 200, attack.WindowStart, 120)
+	c.Flush()
+	evs := c.Events()
+	if len(evs) != 1 {
+		t.Fatalf("events = %d, want 1", len(evs))
+	}
+	e := evs[0]
+	if e.Source != attack.SourceTelescope || e.Vector != attack.VectorTCP {
+		t.Errorf("source/vector = %v/%v", e.Source, e.Vector)
+	}
+	if e.Target != victim {
+		t.Errorf("target = %v", e.Target)
+	}
+	if e.Packets != 200 {
+		t.Errorf("packets = %d", e.Packets)
+	}
+	if e.Duration() != 120 {
+		t.Errorf("duration = %d", e.Duration())
+	}
+	if len(e.Ports) != 1 || e.Ports[0] != 80 {
+		t.Errorf("ports = %v", e.Ports)
+	}
+	if !e.SinglePort() || !e.TargetsWeb() {
+		t.Error("should be a single-port Web attack")
+	}
+	// 200 packets over 120s: ~100 packets in some minute -> ~1.67 pps
+	if e.MaxPPS < 0.5 || e.MaxPPS > 4 {
+		t.Errorf("MaxPPS = %v", e.MaxPPS)
+	}
+}
+
+func TestMooreFilterDropsSmallFlows(t *testing.T) {
+	cfg := DefaultConfig(darknet)
+
+	// Fewer than 25 packets.
+	c := New(cfg)
+	feedSynAckFlood(t, c, netx.MustParseAddr("203.0.113.1"), 80, 24, attack.WindowStart, 120)
+	c.Flush()
+	if len(c.Events()) != 0 {
+		t.Errorf("24-packet flow emitted %d events", len(c.Events()))
+	}
+
+	// Shorter than 60 seconds.
+	c = New(cfg)
+	feedSynAckFlood(t, c, netx.MustParseAddr("203.0.113.2"), 80, 100, attack.WindowStart, 30)
+	c.Flush()
+	if len(c.Events()) != 0 {
+		t.Errorf("30s flow emitted %d events", len(c.Events()))
+	}
+
+	// Max packet rate below 0.5 pps: 30 packets over 30 minutes.
+	c = New(cfg)
+	feedSynAckFlood(t, c, netx.MustParseAddr("203.0.113.3"), 80, 30, attack.WindowStart, 290*6)
+	c.Flush()
+	if len(c.Events()) != 0 {
+		t.Errorf("slow flow emitted %d events", len(c.Events()))
+	}
+}
+
+func TestDisableFilterKeepsSmallFlows(t *testing.T) {
+	cfg := DefaultConfig(darknet)
+	cfg.DisableFilter = true
+	c := New(cfg)
+	feedSynAckFlood(t, c, netx.MustParseAddr("203.0.113.1"), 80, 5, attack.WindowStart, 10)
+	c.Flush()
+	if len(c.Events()) != 1 {
+		t.Errorf("unfiltered events = %d, want 1", len(c.Events()))
+	}
+}
+
+func TestFlowTimeoutSplitsEvents(t *testing.T) {
+	c := New(DefaultConfig(darknet))
+	victim := netx.MustParseAddr("203.0.113.9")
+	feedSynAckFlood(t, c, victim, 80, 100, attack.WindowStart, 120)
+	// Second burst beyond the 300s timeout after the first burst's end.
+	feedSynAckFlood(t, c, victim, 80, 100, attack.WindowStart+120+301, 120)
+	c.Flush()
+	if len(c.Events()) != 2 {
+		t.Fatalf("events = %d, want 2 (flow split)", len(c.Events()))
+	}
+}
+
+func TestFlowGapWithinTimeoutMerges(t *testing.T) {
+	c := New(DefaultConfig(darknet))
+	victim := netx.MustParseAddr("203.0.113.9")
+	feedSynAckFlood(t, c, victim, 80, 100, attack.WindowStart, 120)
+	feedSynAckFlood(t, c, victim, 80, 100, attack.WindowStart+120+299, 120)
+	c.Flush()
+	if len(c.Events()) != 1 {
+		t.Fatalf("events = %d, want 1 (merged)", len(c.Events()))
+	}
+	if got := c.Events()[0].Duration(); got != 120+299+120 {
+		t.Errorf("merged duration = %d", got)
+	}
+}
+
+func TestICMPEchoReplyFlood(t *testing.T) {
+	c := New(DefaultConfig(darknet))
+	victim := netx.MustParseAddr("198.51.100.5")
+	for i := 0; i < 100; i++ {
+		ts := attack.WindowStart + int64(i)
+		if got := c.ProcessPacket(ts, echoReply(t, victim, darknetAddr(uint32(i*131)))); got != KindBackscatter {
+			t.Fatalf("classified %v", got)
+		}
+	}
+	c.Flush()
+	evs := c.Events()
+	if len(evs) != 1 || evs[0].Vector != attack.VectorICMP {
+		t.Fatalf("events = %v", evs)
+	}
+	if len(evs[0].Ports) != 0 {
+		t.Errorf("ICMP flood tracked ports %v", evs[0].Ports)
+	}
+}
+
+func TestICMPUnreachableUsesQuotedPacket(t *testing.T) {
+	c := New(DefaultConfig(darknet))
+	victim := netx.MustParseAddr("198.51.100.77")
+	router := netx.MustParseAddr("192.0.2.254")
+	for i := 0; i < 100; i++ {
+		ts := attack.WindowStart + int64(i)
+		pkt := unreachable(t, router, victim, 53, darknetAddr(uint32(i*17)))
+		if got := c.ProcessPacket(ts, pkt); got != KindBackscatter {
+			t.Fatalf("classified %v", got)
+		}
+	}
+	c.Flush()
+	evs := c.Events()
+	if len(evs) != 1 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	e := evs[0]
+	if e.Target != victim {
+		t.Errorf("victim = %v, want quoted destination %v", e.Target, victim)
+	}
+	if e.Vector != attack.VectorUDP {
+		t.Errorf("vector = %v, want UDP (quoted protocol)", e.Vector)
+	}
+	if len(e.Ports) != 1 || e.Ports[0] != 53 {
+		t.Errorf("ports = %v, want [53]", e.Ports)
+	}
+}
+
+func TestNonBackscatterIgnored(t *testing.T) {
+	c := New(DefaultConfig(darknet))
+	victim := netx.MustParseAddr("203.0.113.80")
+	dst := darknetAddr(5)
+	// Plain SYN (a scan) is not backscatter.
+	ip := &packet.IPv4{TTL: 60, Protocol: packet.ProtocolTCP, Src: victim, Dst: dst}
+	tcp := &packet.TCP{SrcPort: 1234, DstPort: 80, Flags: packet.TCPSyn}
+	tcp.SetNetworkLayer(victim, dst)
+	buf := packet.NewSerializeBuffer()
+	opts := packet.SerializeOptions{FixLengths: true, ComputeChecksums: true}
+	if err := packet.SerializeLayers(buf, opts, ip, tcp); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.ProcessPacket(attack.WindowStart, buf.Bytes()); got != KindIgnored {
+		t.Errorf("SYN scan classified %v", got)
+	}
+	// Echo *request* (a ping scan) is not backscatter either.
+	ip2 := &packet.IPv4{TTL: 60, Protocol: packet.ProtocolICMP, Src: victim, Dst: dst}
+	icmp := &packet.ICMPv4{Type: packet.ICMPEchoRequest}
+	if err := packet.SerializeLayers(buf, opts, ip2, icmp); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.ProcessPacket(attack.WindowStart, buf.Bytes()); got != KindIgnored {
+		t.Errorf("ping scan classified %v", got)
+	}
+	// UDP to the darknet is not backscatter.
+	ip3 := &packet.IPv4{TTL: 60, Protocol: packet.ProtocolUDP, Src: victim, Dst: dst}
+	udp := &packet.UDP{SrcPort: 1, DstPort: 2}
+	udp.SetNetworkLayer(victim, dst)
+	if err := packet.SerializeLayers(buf, opts, ip3, udp); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.ProcessPacket(attack.WindowStart, buf.Bytes()); got != KindIgnored {
+		t.Errorf("UDP scan classified %v", got)
+	}
+}
+
+func TestOutsideDarknetIgnored(t *testing.T) {
+	c := New(DefaultConfig(darknet))
+	pkt := synAck(t, netx.MustParseAddr("203.0.113.80"), 80, netx.MustParseAddr("9.9.9.9"))
+	if got := c.ProcessPacket(attack.WindowStart, pkt); got != KindIgnored {
+		t.Errorf("non-darknet packet classified %v", got)
+	}
+}
+
+func TestMalformedPacket(t *testing.T) {
+	c := New(DefaultConfig(darknet))
+	if got := c.ProcessPacket(attack.WindowStart, []byte{0x45, 0x00}); got != KindMalformed {
+		t.Errorf("classified %v", got)
+	}
+}
+
+func TestMultiPortAttack(t *testing.T) {
+	c := New(DefaultConfig(darknet))
+	victim := netx.MustParseAddr("203.0.113.80")
+	for i := 0; i < 120; i++ {
+		port := uint16(80)
+		if i%2 == 1 {
+			port = 443
+		}
+		ts := attack.WindowStart + int64(i)
+		c.ProcessPacket(ts, synAck(t, victim, port, darknetAddr(uint32(i))))
+	}
+	c.Flush()
+	evs := c.Events()
+	if len(evs) != 1 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	if len(evs[0].Ports) != 2 || evs[0].Ports[0] != 80 || evs[0].Ports[1] != 443 {
+		t.Errorf("ports = %v", evs[0].Ports)
+	}
+	if evs[0].SinglePort() {
+		t.Error("multi-port attack classified single-port")
+	}
+}
+
+func TestPortOverflowForcesMultiPort(t *testing.T) {
+	c := New(DefaultConfig(darknet))
+	victim := netx.MustParseAddr("203.0.113.80")
+	// More distinct ports than the tracker bound.
+	for i := 0; i < 200; i++ {
+		ts := attack.WindowStart + int64(i)
+		c.ProcessPacket(ts, synAck(t, victim, uint16(1000+i), darknetAddr(uint32(i))))
+	}
+	c.Flush()
+	evs := c.Events()
+	if len(evs) != 1 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	if evs[0].SinglePort() {
+		t.Error("overflowed port tracker must not report single-port")
+	}
+}
+
+func TestDominantProtocolWins(t *testing.T) {
+	c := New(DefaultConfig(darknet))
+	victim := netx.MustParseAddr("203.0.113.80")
+	for i := 0; i < 150; i++ {
+		ts := attack.WindowStart + int64(i)
+		if i%3 == 0 {
+			c.ProcessPacket(ts, echoReply(t, victim, darknetAddr(uint32(i))))
+		} else {
+			c.ProcessPacket(ts, synAck(t, victim, 80, darknetAddr(uint32(i))))
+		}
+	}
+	c.Flush()
+	evs := c.Events()
+	if len(evs) != 1 || evs[0].Vector != attack.VectorTCP {
+		t.Fatalf("dominant vector = %v", evs)
+	}
+}
+
+func TestSweepExpiresIdleFlows(t *testing.T) {
+	cfg := DefaultConfig(darknet)
+	c := New(cfg)
+	c.sweepEvery = 10
+	victim := netx.MustParseAddr("203.0.113.80")
+	feedSynAckFlood(t, c, victim, 80, 100, attack.WindowStart, 120)
+	if c.OpenFlows() != 1 {
+		t.Fatalf("open flows = %d", c.OpenFlows())
+	}
+	// Traffic for a different victim far in the future triggers a sweep.
+	other := netx.MustParseAddr("198.51.100.1")
+	for i := 0; i < 30; i++ {
+		ts := attack.WindowStart + 10000 + int64(i)
+		c.ProcessPacket(ts, synAck(t, other, 443, darknetAddr(uint32(i))))
+	}
+	if c.OpenFlows() != 1 {
+		t.Errorf("idle flow not swept: open = %d", c.OpenFlows())
+	}
+	if len(c.Events()) != 1 {
+		t.Errorf("swept flow did not emit event: %d", len(c.Events()))
+	}
+}
+
+func TestMaxPPSPerMinute(t *testing.T) {
+	cfg := DefaultConfig(darknet)
+	c := New(cfg)
+	victim := netx.MustParseAddr("203.0.113.80")
+	// 60 packets in the first minute, then 1 per minute for 5 minutes.
+	ts := attack.WindowStart
+	for i := 0; i < 60; i++ {
+		c.ProcessPacket(ts+int64(i), synAck(t, victim, 80, darknetAddr(uint32(i))))
+	}
+	for i := 1; i <= 5; i++ {
+		c.ProcessPacket(ts+int64(i*60), synAck(t, victim, 80, darknetAddr(uint32(i))))
+	}
+	c.Flush()
+	evs := c.Events()
+	if len(evs) != 1 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	if got := evs[0].MaxPPS; got != 1.0 {
+		t.Errorf("MaxPPS = %v, want 1.0 (60 packets in the first minute)", got)
+	}
+}
+
+func TestAcceptSharedFilter(t *testing.T) {
+	cfg := DefaultConfig(darknet)
+	if !cfg.Accept(25, 60, 0.5) {
+		t.Error("boundary values must pass")
+	}
+	if cfg.Accept(24, 60, 0.5) || cfg.Accept(25, 59, 0.5) || cfg.Accept(25, 60, 0.49) {
+		t.Error("sub-threshold values must fail")
+	}
+	cfg.DisableFilter = true
+	if !cfg.Accept(0, 0, 0) {
+		t.Error("disabled filter must accept everything")
+	}
+}
+
+func BenchmarkClassifierPacketLevel(b *testing.B) {
+	c := New(DefaultConfig(darknet))
+	victim := netx.MustParseAddr("203.0.113.80")
+	pkt := synAck(b, victim, 80, darknetAddr(12345))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.ProcessPacket(attack.WindowStart+int64(i/100), pkt)
+	}
+}

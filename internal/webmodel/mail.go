@@ -1,0 +1,121 @@
+package webmodel
+
+import (
+	"fmt"
+	"math/rand"
+
+	"doscope/internal/ipmeta"
+	"doscope/internal/netx"
+)
+
+// Mail infrastructure model — the paper's §8 extension ("we find that
+// GoDaddy's e-mail servers, which are used by tens of millions of domain
+// names, are frequently targeted by DoS attacks. In future work, we plan
+// to investigate the impact of DoS attacks on mail infrastructure").
+//
+// Each hosting pool runs a small mail cluster shared by all its domains
+// (the MX of w123.com points at mail.godaddy-dns.net, which resolves into
+// the hoster's network); self-hosted singles run mail on their Web IP.
+
+// BuildMail allocates mail-cluster addresses for every pool. Call after
+// Build; idempotent.
+func (p *Population) BuildMail(seed int64) error {
+	if p.mailBuilt {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0x3a11))
+	for pi := range p.Pools {
+		pool := &p.Pools[pi]
+		n := 1
+		if len(pool.Sites) > 5000 {
+			n = 2 // mega hosters run more than one MX host
+		}
+		for len(pool.MailIPs) < n {
+			addr, ok := p.allocIPInAS(rng, p.cfg.Plan, pool.ASN)
+			if !ok {
+				return fmt.Errorf("webmodel: cannot allocate mail IP in AS%d", pool.ASN)
+			}
+			p.ipToMailPool[addr] = int32(pi)
+			pool.MailIPs = append(pool.MailIPs, addr)
+		}
+	}
+	p.mailBuilt = true
+	return nil
+}
+
+// MailAddrOf returns where the domain's MX target resolves on a day.
+// Mail does not follow Web DPS migrations (the paper's DPS mechanisms
+// divert Web traffic); pool mail stays on the hoster's mail cluster.
+func (p *Population) MailAddrOf(id uint32, day int) (netx.Addr, bool) {
+	d := &p.Domains[id]
+	if int(d.BirthDay) > day {
+		return 0, false
+	}
+	if pool := poolOf(p, id); pool != nil {
+		if len(pool.MailIPs) == 0 {
+			return 0, false
+		}
+		return pool.MailIPs[int(id)%len(pool.MailIPs)], true
+	}
+	return p.SingleIPs[d.SingleIP], true
+}
+
+// MXTarget renders the domain's MX record target.
+func (p *Population) MXTarget(id uint32) string {
+	if pool := poolOf(p, id); pool != nil {
+		return fmt.Sprintf("mx1.%s-mail.net", sanitize(pool.Name))
+	}
+	return "mail." + p.DomainName(id)
+}
+
+// ForEachMailDomainOn visits the domains whose mail is handled at addr on
+// the given day.
+func (p *Population) ForEachMailDomainOn(addr netx.Addr, day int, fn func(id uint32)) {
+	if pi, ok := p.ipToMailPool[addr]; ok {
+		pool := &p.Pools[pi]
+		n := len(pool.MailIPs)
+		for i := range pool.Sites {
+			if pool.MailIPs[i%n] != addr {
+				continue
+			}
+			id := pool.Sites[i]
+			if int(p.Domains[id].BirthDay) <= day {
+				fn(id)
+			}
+		}
+	}
+	if id, ok := p.ipToSingle[addr]; ok {
+		if int(p.Domains[id].BirthDay) <= day {
+			fn(id)
+		}
+	}
+}
+
+// MailTarget is an attackable mail-cluster IP.
+type MailTarget struct {
+	Addr    netx.Addr
+	Pool    int32
+	Domains int
+	ASN     ipmeta.ASN
+}
+
+// MailTargets lists the mail clusters of attacked hosting pools; the
+// simulator targets the big ones (the paper singles out GoDaddy's mail
+// servers as frequent targets).
+func (p *Population) MailTargets(minDomains int) []MailTarget {
+	var out []MailTarget
+	for pi := range p.Pools {
+		pool := &p.Pools[pi]
+		if !pool.Attacked || len(pool.MailIPs) == 0 {
+			continue
+		}
+		per := len(pool.Sites) / len(pool.MailIPs)
+		if per < minDomains {
+			continue
+		}
+		for _, addr := range pool.MailIPs {
+			out = append(out, MailTarget{Addr: addr, Pool: int32(pi), Domains: per, ASN: pool.ASN})
+		}
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package webmodel
+
+import (
+	"testing"
+)
+
+func testMailPopulation(t *testing.T) *Population {
+	t.Helper()
+	p := testPopulation(t, 50000)
+	if err := p.BuildMail(9); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestBuildMailAllocatesClusters(t *testing.T) {
+	p := testMailPopulation(t)
+	for i := range p.Pools {
+		pool := &p.Pools[i]
+		if len(pool.MailIPs) == 0 {
+			t.Fatalf("pool %s has no mail cluster", pool.Name)
+		}
+		if len(pool.Sites) > 5000 && len(pool.MailIPs) < 2 {
+			t.Errorf("mega pool %s has only %d mail IPs", pool.Name, len(pool.MailIPs))
+		}
+		// Mail IPs live in the hoster's own network.
+		for _, addr := range pool.MailIPs {
+			if asn, _ := p.cfg.Plan.ASOf(addr); asn != pool.ASN {
+				// Customer more-specifics may resolve differently; the
+				// country must still match.
+				cc, _ := p.cfg.Plan.CountryOf(addr)
+				if cc != pool.Country {
+					t.Errorf("pool %s mail IP %v outside hoster network", pool.Name, addr)
+				}
+			}
+		}
+	}
+	// Idempotent.
+	before := len(p.Pools[0].MailIPs)
+	if err := p.BuildMail(9); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Pools[0].MailIPs) != before {
+		t.Error("BuildMail not idempotent")
+	}
+}
+
+func TestMailAddrConsistency(t *testing.T) {
+	p := testMailPopulation(t)
+	day := 100
+	for id := uint32(0); id < 2000; id += 41 {
+		if !p.Alive(id, day) {
+			continue
+		}
+		addr, ok := p.MailAddrOf(id, day)
+		if !ok {
+			t.Fatalf("domain %d has no mail address", id)
+		}
+		found := false
+		p.ForEachMailDomainOn(addr, day, func(got uint32) {
+			if got == id {
+				found = true
+			}
+		})
+		if !found {
+			t.Fatalf("domain %d not listed on its own mail address %v", id, addr)
+		}
+		if p.MXTarget(id) == "" {
+			t.Fatalf("domain %d has empty MX target", id)
+		}
+	}
+}
+
+func TestMailBeforeBirth(t *testing.T) {
+	p := testMailPopulation(t)
+	for id := range p.Domains {
+		if b := int(p.Domains[id].BirthDay); b > 10 {
+			if _, ok := p.MailAddrOf(uint32(id), b-1); ok {
+				t.Fatal("mail resolves before domain birth")
+			}
+			return
+		}
+	}
+	t.Skip("no newborn in sample")
+}
+
+func TestMailTargets(t *testing.T) {
+	p := testMailPopulation(t)
+	targets := p.MailTargets(200)
+	if len(targets) == 0 {
+		t.Fatal("no mail targets")
+	}
+	seenGoDaddy := false
+	for _, mt := range targets {
+		if mt.Domains < 200 {
+			t.Errorf("mail target %v below threshold: %d", mt.Addr, mt.Domains)
+		}
+		if p.Pools[mt.Pool].Name == "GoDaddy" {
+			seenGoDaddy = true
+		}
+	}
+	if !seenGoDaddy {
+		t.Error("GoDaddy mail cluster missing (paper §5 calls it out)")
+	}
+	// Quiet pools must not appear.
+	for _, mt := range targets {
+		if !p.Pools[mt.Pool].Attacked {
+			t.Errorf("quiet pool %s in mail targets", p.Pools[mt.Pool].Name)
+		}
+	}
+}
+
+func TestMailSeparateFromWebIPs(t *testing.T) {
+	p := testMailPopulation(t)
+	for i := range p.Pools {
+		pool := &p.Pools[i]
+		for _, m := range pool.MailIPs {
+			for _, w := range pool.IPs {
+				if m == w {
+					t.Fatalf("pool %s mail IP collides with Web IP %v", pool.Name, m)
+				}
+			}
+		}
+	}
+}
