@@ -23,6 +23,7 @@ import (
 	"doscope/internal/packet"
 	"doscope/internal/report"
 	"doscope/internal/telescope"
+	"doscope/internal/webmodel"
 )
 
 // benchScale reproduces the paper at 1/1000: ≈20.9k attack events and
@@ -464,6 +465,185 @@ func BenchmarkMailImpact(b *testing.B) {
 		ds.MailIdx = sc.Web
 		_ = ds.MailImpactStats()
 	}
+}
+
+// --- query-vs-scan benchmarks (sharded store API) -----------------------
+
+// queryBenchScale reproduces the paper's event volumes at 1/100
+// (≈125k telescope + 84k honeypot events); the metadata models are kept
+// small so scenario generation stays fast.
+const queryBenchScale = 0.01
+
+var (
+	qbOnce sync.Once
+	qbTel  *attack.Store
+	qbHp   *attack.Store
+	qbErr  error
+)
+
+func queryBenchStores(b *testing.B) (tel, hp *attack.Store) {
+	b.Helper()
+	qbOnce.Do(func() {
+		plan, err := ipmeta.BuildPlan(ipmeta.PlanConfig{Seed: 7, NumActive24: 65000})
+		if err != nil {
+			qbErr = err
+			return
+		}
+		web, err := webmodel.Build(webmodel.Config{
+			Seed: 8, NumDomains: 20000, Plan: plan, WindowDays: attack.WindowDays,
+		}, nil)
+		if err != nil {
+			qbErr = err
+			return
+		}
+		sc, err := dossim.Generate(dossim.Config{Seed: 7, Scale: queryBenchScale, Plan: plan, Web: web})
+		if err != nil {
+			qbErr = err
+			return
+		}
+		qbTel, qbHp = sc.Telescope, sc.Honeypot
+		// Warm the lazy shard sort, count indexes, and the Events()
+		// compatibility cache so both sides measure steady state.
+		qbTel.Query().Count()
+		qbHp.Query().Count()
+		qbTel.Events()
+		qbHp.Events()
+	})
+	if qbErr != nil {
+		b.Fatal(qbErr)
+	}
+	return qbTel, qbHp
+}
+
+var benchSink int
+
+// BenchmarkAggPerVector compares the seed's full-scan per-vector rollup
+// (the Table 5/6 aggregation class) against the count-index query path.
+func BenchmarkAggPerVector(b *testing.B) {
+	tel, hp := queryBenchStores(b)
+	b.Run("scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var counts [attack.NumVectors]int
+			for _, st := range []*attack.Store{tel, hp} {
+				for _, e := range st.Events() {
+					counts[e.Vector]++
+				}
+			}
+			benchSink = counts[attack.VectorNTP]
+		}
+	})
+	b.Run("query", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			counts := attack.QueryStores(tel, hp).CountByVector()
+			benchSink = counts[attack.VectorNTP]
+		}
+	})
+}
+
+// BenchmarkAggPerDay compares the full-scan per-day event rollup (the
+// Figure 1 attack-count series) against the count-index query path.
+func BenchmarkAggPerDay(b *testing.B) {
+	tel, hp := queryBenchStores(b)
+	b.Run("scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			daily := make([]int, attack.WindowDays)
+			for _, st := range []*attack.Store{tel, hp} {
+				for _, e := range st.Events() {
+					if d := e.Day(); d >= 0 && d < attack.WindowDays {
+						daily[d]++
+					}
+				}
+			}
+			benchSink = daily[0]
+		}
+	})
+	b.Run("query", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			daily := attack.QueryStores(tel, hp).CountByDay()
+			benchSink = daily[0]
+		}
+	})
+}
+
+// BenchmarkAggVectorDayRange counts NTP reflection events in a 90-day
+// slice of the window: the query path prunes to ~1/8 of the shards and
+// answers from the index instead of scanning every event.
+func BenchmarkAggVectorDayRange(b *testing.B) {
+	_, hp := queryBenchStores(b)
+	b.Run("scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			n := 0
+			for _, e := range hp.Events() {
+				if d := e.Day(); e.Vector == attack.VectorNTP && d >= 300 && d <= 389 {
+					n++
+				}
+			}
+			benchSink = n
+		}
+	})
+	b.Run("query", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchSink = hp.Query().Vectors(attack.VectorNTP).Days(300, 389).Count()
+		}
+	})
+}
+
+// BenchmarkAggDailyUniqueTargets compares the sequential full-scan daily
+// unique-target series (the Figure 1 targets panel) against the parallel
+// shard fold, which keeps per-day dedup sets shard-local.
+func BenchmarkAggDailyUniqueTargets(b *testing.B) {
+	tel, hp := queryBenchStores(b)
+	b.Run("scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			daily := make([]int, attack.WindowDays)
+			stamps := make(map[int64]struct{})
+			for _, st := range []*attack.Store{tel, hp} {
+				for _, e := range st.Events() {
+					d := e.Day()
+					if d < 0 || d >= attack.WindowDays {
+						continue
+					}
+					key := int64(d)<<32 | int64(uint32(e.Target))
+					if _, ok := stamps[key]; !ok {
+						stamps[key] = struct{}{}
+						daily[d]++
+					}
+				}
+			}
+			benchSink = daily[0]
+		}
+	})
+	b.Run("query", func(b *testing.B) {
+		type partial struct {
+			daily  []int
+			stamps map[int64]struct{}
+		}
+		for i := 0; i < b.N; i++ {
+			res := attack.Fold(attack.QueryStores(tel, hp),
+				func() partial {
+					return partial{make([]int, attack.WindowDays), make(map[int64]struct{})}
+				},
+				func(p partial, e *attack.Event) partial {
+					d := e.Day()
+					if d < 0 || d >= attack.WindowDays {
+						return p
+					}
+					key := int64(d)<<32 | int64(uint32(e.Target))
+					if _, ok := p.stamps[key]; !ok {
+						p.stamps[key] = struct{}{}
+						p.daily[d]++
+					}
+					return p
+				},
+				func(a, b partial) partial {
+					for d := range a.daily {
+						a.daily[d] += b.daily[d]
+					}
+					return a
+				})
+			benchSink = res.daily[0]
+		}
+	})
 }
 
 // BenchmarkAblationHoneypotGap shows how the collector's gap timeout

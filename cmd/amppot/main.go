@@ -85,9 +85,15 @@ func main() {
 	for _, c := range conns {
 		c.Close()
 	}
-	events := fleet.Flush()
-	fmt.Fprintf(os.Stderr, "amppot: %d attack events\n", len(events))
-	if err := attack.NewStore(events).WriteCSV(os.Stdout); err != nil {
+	store := fleet.FlushStore()
+	fmt.Fprintf(os.Stderr, "amppot: %d attack events\n", store.Len())
+	counts := store.Query().CountByVector()
+	for v := attack.VectorNTP; int(v) < attack.NumVectors; v++ {
+		if counts[v] > 0 {
+			fmt.Fprintf(os.Stderr, "amppot:   %-7s %d events\n", v, counts[v])
+		}
+	}
+	if err := store.WriteCSV(os.Stdout); err != nil {
 		fatal(err)
 	}
 }

@@ -52,8 +52,15 @@ func main() {
 	}
 	ds := core.New(sc.Telescope, sc.Honeypot, sc.Plan, sc.History, sc.Cfg.WindowDays)
 	ds.MailIdx = sc.Web
-	fmt.Printf("doscope: scale=%g seed=%d telescope=%d honeypot=%d events, %d Web sites\n\n",
+	fmt.Printf("doscope: scale=%g seed=%d telescope=%d honeypot=%d events, %d Web sites\n",
 		*scale, *seed, sc.Telescope.Len(), sc.Honeypot.Len(), sc.History.NumDomains())
+	// First-month reflection share straight off the count indexes: no scan.
+	if n := attack.QueryStores(sc.Telescope, sc.Honeypot).Days(0, 29).Count(); n > 0 {
+		refl := sc.Honeypot.Query().Days(0, 29).Count()
+		fmt.Printf("doscope: first month: %d events, %.1f%% reflection\n\n", n, 100*float64(refl)/float64(n))
+	} else {
+		fmt.Println()
+	}
 	switch *section {
 	case "all":
 		fmt.Print(report.All(ds))

@@ -85,10 +85,26 @@ func main() {
 		}
 	}
 	c.Flush()
-	events := c.Events()
+	store := c.Store()
 	fmt.Fprintf(os.Stderr, "telescope: %d packets, %d backscatter, %d malformed, %d attack events\n",
-		total, backscatter, malformed, len(events))
-	if err := attack.NewStore(events).WriteCSV(os.Stdout); err != nil {
+		total, backscatter, malformed, store.Len())
+	counts := store.Query().CountByVector()
+	var vecTargets [4]map[netx.Addr]struct{}
+	for i := range vecTargets {
+		vecTargets[i] = make(map[netx.Addr]struct{})
+	}
+	for e := range store.Query().Iter() {
+		if int(e.Vector) < len(vecTargets) {
+			vecTargets[e.Vector][e.Target] = struct{}{}
+		}
+	}
+	for _, v := range []attack.Vector{attack.VectorTCP, attack.VectorUDP, attack.VectorICMP, attack.VectorOtherIP} {
+		if counts[v] > 0 {
+			fmt.Fprintf(os.Stderr, "telescope:   %-5s %d events, %d targets\n",
+				v, counts[v], len(vecTargets[v]))
+		}
+	}
+	if err := store.WriteCSV(os.Stdout); err != nil {
 		fatal(err)
 	}
 }

@@ -11,6 +11,26 @@
 // measurement data, and the fusion framework that reproduces every table
 // and figure of the paper's evaluation.
 //
+// # The attack event store
+//
+// Both sensor pipelines feed attack.Store, which shards events by
+// day-of-window and answers analyses through a composable query API
+// instead of a materialized slice:
+//
+//	n := store.Query().
+//		Source(attack.SourceHoneypot).
+//		Vectors(attack.VectorNTP).
+//		Days(0, 364).
+//		Count() // answered from the per-day count index, no scan
+//
+// Terminal operations are Iter (a Go range-over-func sequence),
+// IterByStart (both data sets merged in start-time order), Count,
+// CountByVector, CountByDay, GroupByTarget, and attack.Fold, a parallel
+// aggregation that fans out one task per day-range shard and merges
+// partials deterministically. Every table/figure method in internal/core
+// is built on these primitives; Store.Events remains only as a deprecated
+// compatibility shim.
+//
 // Start with the README, run `go run ./examples/quickstart`, or regenerate
 // the full evaluation with `go test -bench=. .` or `go run ./cmd/doscope`.
 package doscope

@@ -1,0 +1,3 @@
+module doscope
+
+go 1.24

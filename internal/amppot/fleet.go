@@ -75,3 +75,9 @@ func (f *Fleet) Events() []attack.Event {
 	defer f.mu.Unlock()
 	return f.collector.Events()
 }
+
+// FlushStore closes open flows and returns all extracted events as an
+// indexed attack.Store, the form the fusion pipeline and CLIs query.
+func (f *Fleet) FlushStore() *attack.Store {
+	return attack.NewStore(f.Flush())
+}

@@ -24,8 +24,15 @@ const (
 )
 
 // DayOf maps a unix timestamp to a day index within the window; times
-// before the window map to negative values.
-func DayOf(t int64) int { return int((t - WindowStart) / 86400) }
+// before the window map to negative values (floor division, so even
+// times less than a day before the window are day -1, not day 0).
+func DayOf(t int64) int {
+	d := t - WindowStart
+	if d < 0 {
+		d -= 86399
+	}
+	return int(d / 86400)
+}
 
 // DayStart returns the unix timestamp of midnight starting the given day
 // index.

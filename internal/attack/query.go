@@ -1,0 +1,508 @@
+package attack
+
+import (
+	"iter"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"doscope/internal/netx"
+)
+
+// Query is a composable filter over one or more stores. Builder methods
+// narrow the selection and return the receiver for chaining; terminal
+// operations (Iter, IterByStart, Count, CountByVector, CountByDay,
+// GroupByTarget, Events, and the package-level Fold) execute it, pushing
+// filters down to shard and index pruning instead of full scans.
+//
+// A Query is single-use and not safe for concurrent execution: terminals
+// may build lazy store indexes. Fold parallelizes internally and is safe
+// on its own.
+type Query struct {
+	stores     []*Store
+	source     int8   // -1 = any
+	vecMask    uint32 // 0 = all
+	dayLo      int
+	dayHi      int
+	hasDays    bool
+	prefix     netx.Addr
+	prefixBits int
+	hasPrefix  bool
+	pred       func(*Event) bool
+}
+
+// Query starts a query over this store.
+func (s *Store) Query() *Query { return QueryStores(s) }
+
+// QueryStores starts a query spanning several stores (e.g. the telescope
+// and honeypot data sets). Iter visits stores in argument order;
+// IterByStart merges them by start time.
+func QueryStores(stores ...*Store) *Query {
+	return &Query{stores: stores, source: -1}
+}
+
+// Source keeps only events observed by the given sensor.
+func (q *Query) Source(src Source) *Query { q.source = int8(src); return q }
+
+// Vectors keeps only events with one of the given attack vectors.
+func (q *Query) Vectors(vs ...Vector) *Query {
+	for _, v := range vs {
+		q.vecMask |= 1 << v
+	}
+	return q
+}
+
+// Days keeps only events whose start day index lies in [lo, hi]
+// (inclusive). Out-of-window events have negative or >= WindowDays day
+// indexes and are excluded by any in-window range.
+func (q *Query) Days(lo, hi int) *Query {
+	q.hasDays, q.dayLo, q.dayHi = true, lo, hi
+	return q
+}
+
+// Target keeps only events aimed at exactly this address (served from the
+// by-target index).
+func (q *Query) Target(a netx.Addr) *Query { return q.TargetPrefix(a, 32) }
+
+// TargetPrefix keeps only events whose target falls inside a/bits.
+func (q *Query) TargetPrefix(a netx.Addr, bits int) *Query {
+	q.hasPrefix, q.prefixBits, q.prefix = true, bits, a.Mask(bits)
+	return q
+}
+
+// Where adds an arbitrary predicate (composed with any previous one).
+// Predicate-filtered queries cannot use the count indexes.
+func (q *Query) Where(pred func(*Event) bool) *Query {
+	if prev := q.pred; prev != nil {
+		q.pred = func(e *Event) bool { return prev(e) && pred(e) }
+	} else {
+		q.pred = pred
+	}
+	return q
+}
+
+// match applies all filters to one event.
+func (q *Query) match(e *Event) bool {
+	if q.source >= 0 && e.Source != Source(q.source) {
+		return false
+	}
+	if q.vecMask != 0 && (int(e.Vector) >= 32 || q.vecMask&(1<<e.Vector) == 0) {
+		return false
+	}
+	if q.hasDays {
+		if d := e.Day(); d < q.dayLo || d > q.dayHi {
+			return false
+		}
+	}
+	if q.hasPrefix && e.Target.Mask(q.prefixBits) != q.prefix {
+		return false
+	}
+	if q.pred != nil && !q.pred(e) {
+		return false
+	}
+	return true
+}
+
+func clampDay(d int) int {
+	if d < 0 {
+		return 0
+	}
+	if d >= WindowDays {
+		return WindowDays - 1
+	}
+	return d
+}
+
+// shardRange returns the inclusive shard index range that can contain
+// matching events given the day filter; lo > hi means no shard can.
+func (q *Query) shardRange() (lo, hi int) {
+	if !q.hasDays {
+		return 0, numShards - 1
+	}
+	if q.dayLo > q.dayHi {
+		return 1, 0
+	}
+	return clampDay(q.dayLo) / shardDays, clampDay(q.dayHi) / shardDays
+}
+
+// shardMayMatch prunes a shard using its (source, vector) counts.
+func (q *Query) shardMayMatch(sh *shard) bool {
+	if len(sh.events) == 0 {
+		return false
+	}
+	if (q.source < 0 && q.vecMask == 0) || sh.unindexed > 0 {
+		return true
+	}
+	for src := 0; src < 2; src++ {
+		if q.source >= 0 && int(q.source) != src {
+			continue
+		}
+		for v := 0; v < NumVectors; v++ {
+			if q.vecMask != 0 && q.vecMask&(1<<v) == 0 {
+				continue
+			}
+			if sh.counts[src][v] > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Iter yields matching events store by store, each in (Start, Target)
+// order. The yielded pointers reference store-owned memory: they are
+// valid for reading until the store is mutated and must not be written
+// through.
+func (q *Query) Iter() iter.Seq[*Event] {
+	return func(yield func(*Event) bool) {
+		lo, hi := q.shardRange()
+		for _, st := range q.stores {
+			if st == nil || st.length == 0 {
+				continue
+			}
+			st.ensureSorted()
+			if q.hasPrefix && q.prefixBits >= 32 {
+				st.ensureTargets()
+				for _, e := range st.targets[q.prefix] {
+					if q.match(e) && !yield(e) {
+						return
+					}
+				}
+				continue
+			}
+			for si := lo; si <= hi && si < len(st.shards); si++ {
+				sh := &st.shards[si]
+				if !q.shardMayMatch(sh) {
+					continue
+				}
+				for i := range sh.events {
+					e := &sh.events[i]
+					if q.match(e) && !yield(e) {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// IterByStart yields matching events from all stores merged by start
+// time (ties favor the earlier store, then per-store order), the order
+// the fusion pipeline consumes for daily stamping. Shard alignment makes
+// this a per-day-range k-way merge instead of a global sort.
+func (q *Query) IterByStart() iter.Seq[*Event] {
+	return func(yield func(*Event) bool) {
+		lo, hi := q.shardRange()
+		for _, st := range q.stores {
+			if st != nil {
+				st.ensureSorted()
+			}
+		}
+		type cursor struct {
+			evs []Event
+			i   int
+		}
+		cursors := make([]cursor, len(q.stores))
+		for si := lo; si <= hi; si++ {
+			for k, st := range q.stores {
+				cursors[k] = cursor{}
+				if st == nil || si >= len(st.shards) {
+					continue
+				}
+				if sh := &st.shards[si]; q.shardMayMatch(sh) {
+					cursors[k].evs = sh.events
+				}
+			}
+			for {
+				best := -1
+				var bestStart int64
+				for k := range cursors {
+					c := &cursors[k]
+					if c.i >= len(c.evs) {
+						continue
+					}
+					if s := c.evs[c.i].Start; best < 0 || s < bestStart {
+						best, bestStart = k, s
+					}
+				}
+				if best < 0 {
+					break
+				}
+				c := &cursors[best]
+				e := &c.evs[c.i]
+				c.i++
+				if q.match(e) && !yield(e) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// Events materializes the matching events (copies) in Iter order.
+func (q *Query) Events() []Event {
+	var out []Event
+	for e := range q.Iter() {
+		out = append(out, *e)
+	}
+	return out
+}
+
+// GroupByTarget collects matching events per target address. The slices
+// hold store-owned pointers, per target in Iter order.
+func (q *Query) GroupByTarget() map[netx.Addr][]*Event {
+	out := make(map[netx.Addr][]*Event)
+	for e := range q.Iter() {
+		out[e.Target] = append(out[e.Target], e)
+	}
+	return out
+}
+
+// Count returns the number of matching events. Queries filtering only on
+// source, vector, and day range are answered from the per-day count index
+// without touching a single event; exact-target queries from the
+// by-target index.
+func (q *Query) Count() int {
+	n := 0
+	for _, st := range q.stores {
+		if st == nil || st.length == 0 {
+			continue
+		}
+		n += q.countStore(st)
+	}
+	return n
+}
+
+func (q *Query) countStore(st *Store) int {
+	if !q.hasPrefix && q.pred == nil {
+		if n, ok := q.countViaIndex(st, nil); ok {
+			return n
+		}
+	}
+	if q.hasPrefix && q.prefixBits >= 32 && q.pred == nil {
+		st.ensureSorted()
+		st.ensureTargets()
+		n := 0
+		for _, e := range st.targets[q.prefix] {
+			if q.match(e) {
+				n++
+			}
+		}
+		return n
+	}
+	sub := *q
+	sub.stores = []*Store{st}
+	n := 0
+	for range sub.Iter() {
+		n++
+	}
+	return n
+}
+
+// countViaIndex answers a source/vector/day-only count from the per-day
+// index. When perVec is non-nil it additionally accumulates per-vector
+// totals. ok is false when the index cannot answer exactly (events with
+// out-of-range enum values, or a day filter straddling the window edge
+// while out-of-window events exist).
+func (q *Query) countViaIndex(st *Store, perVec *[NumVectors]int) (n int, ok bool) {
+	st.ensureCounts()
+	c := st.counts
+	if c.unindexed > 0 {
+		return 0, false
+	}
+	includeOut := true
+	dlo, dhi := 0, WindowDays-1
+	if q.hasDays {
+		if q.dayLo > q.dayHi {
+			return 0, true
+		}
+		if q.dayLo < 0 || q.dayHi >= WindowDays {
+			// The index does not resolve which side of the window an
+			// out-of-window event falls on.
+			if c.outTotal > 0 {
+				return 0, false
+			}
+		}
+		includeOut = false
+		dlo, dhi = clampDay(q.dayLo), clampDay(q.dayHi)
+		if q.dayHi < 0 || q.dayLo >= WindowDays {
+			return 0, true
+		}
+	}
+	for src := 0; src < 2; src++ {
+		if q.source >= 0 && int(q.source) != src {
+			continue
+		}
+		for v := 0; v < NumVectors; v++ {
+			if q.vecMask != 0 && q.vecMask&(1<<v) == 0 {
+				continue
+			}
+			sum := 0
+			for d := dlo; d <= dhi; d++ {
+				sum += int(c.day[d][src][v])
+			}
+			if includeOut {
+				sum += int(c.out[src][v])
+			}
+			n += sum
+			if perVec != nil {
+				perVec[v] += sum
+			}
+		}
+	}
+	return n, true
+}
+
+// CountByVector returns matching event counts per attack vector, answered
+// from the count index when the query has no prefix or predicate filter.
+// Events with out-of-range vector values are not counted.
+func (q *Query) CountByVector() [NumVectors]int {
+	var out [NumVectors]int
+	for _, st := range q.stores {
+		if st == nil || st.length == 0 {
+			continue
+		}
+		if !q.hasPrefix && q.pred == nil {
+			if _, ok := q.countViaIndex(st, &out); ok {
+				continue
+			}
+		}
+		sub := *q
+		sub.stores = []*Store{st}
+		for e := range sub.Iter() {
+			if int(e.Vector) < NumVectors {
+				out[e.Vector]++
+			}
+		}
+	}
+	return out
+}
+
+// CountByDay returns matching in-window event counts per start day
+// (length WindowDays), answered from the count index when the query has
+// no prefix or predicate filter.
+func (q *Query) CountByDay() []int {
+	out := make([]int, WindowDays)
+	dlo, dhi := 0, WindowDays-1
+	if q.hasDays {
+		if q.dayLo > q.dayHi || q.dayHi < 0 || q.dayLo >= WindowDays {
+			return out
+		}
+		dlo, dhi = clampDay(q.dayLo), clampDay(q.dayHi)
+	}
+	for _, st := range q.stores {
+		if st == nil || st.length == 0 {
+			continue
+		}
+		if !q.hasPrefix && q.pred == nil {
+			st.ensureCounts()
+			if c := st.counts; c.unindexed == 0 {
+				for d := dlo; d <= dhi; d++ {
+					for src := 0; src < 2; src++ {
+						if q.source >= 0 && int(q.source) != src {
+							continue
+						}
+						for v := 0; v < NumVectors; v++ {
+							if q.vecMask != 0 && q.vecMask&(1<<v) == 0 {
+								continue
+							}
+							out[d] += int(c.day[d][src][v])
+						}
+					}
+				}
+				continue
+			}
+		}
+		sub := *q
+		sub.stores = []*Store{st}
+		for e := range sub.Iter() {
+			if d := e.Day(); d >= 0 && d < WindowDays {
+				out[d]++
+			}
+		}
+	}
+	return out
+}
+
+// Fold runs a parallel aggregation over the matching events: one task per
+// shard index (spanning that shard in every store, store-major), fanned
+// out over up to GOMAXPROCS goroutines. Within a task events arrive in
+// Iter order; partials are merged in ascending shard order, so the result
+// is deterministic for any GOMAXPROCS as long as acc is order-independent
+// across shards or merge is associative in shard order.
+//
+// Because every store shards by day-of-window, a task sees all events of
+// its day range across all stores: per-day aggregations (daily counts,
+// per-day dedup sets) are safe to keep in the partial.
+func Fold[T any](q *Query, init func() T, acc func(T, *Event) T, merge func(T, T) T) T {
+	lo, hi := q.shardRange()
+	for _, st := range q.stores {
+		if st != nil {
+			st.ensureSorted()
+		}
+	}
+	var tasks []int
+	for si := lo; si <= hi; si++ {
+		for _, st := range q.stores {
+			if st == nil || si >= len(st.shards) {
+				continue
+			}
+			if q.shardMayMatch(&st.shards[si]) {
+				tasks = append(tasks, si)
+				break
+			}
+		}
+	}
+	partials := make([]T, len(tasks))
+	foldShard := func(ti int) {
+		si := tasks[ti]
+		val := init()
+		for _, st := range q.stores {
+			if st == nil || si >= len(st.shards) {
+				continue
+			}
+			sh := &st.shards[si]
+			if !q.shardMayMatch(sh) {
+				continue
+			}
+			for i := range sh.events {
+				e := &sh.events[i]
+				if q.match(e) {
+					val = acc(val, e)
+				}
+			}
+		}
+		partials[ti] = val
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers <= 1 {
+		for ti := range tasks {
+			foldShard(ti)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					ti := int(next.Add(1)) - 1
+					if ti >= len(tasks) {
+						return
+					}
+					foldShard(ti)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	out := init()
+	for _, p := range partials {
+		out = merge(out, p)
+	}
+	return out
+}

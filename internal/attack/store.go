@@ -8,53 +8,191 @@ import (
 	"io"
 	"sort"
 	"strconv"
+	"strings"
 
 	"doscope/internal/netx"
 )
 
-// Store holds attack events sorted by start time and provides the index
-// structures the fusion pipeline queries.
+// Shard geometry: events are bucketed by the day-of-window their Start
+// falls in, shardDays days per shard. Days before the window collapse into
+// the first shard and days beyond it into the last, so concatenating the
+// shards in index order always reproduces the global (Start, Target) sort
+// while Add only dirties a single shard instead of the whole store.
+const (
+	shardDays = 8
+	numShards = (WindowDays + shardDays - 1) / shardDays
+)
+
+// shardOf maps a start timestamp to its shard index.
+func shardOf(start int64) int {
+	d := DayOf(start)
+	if d < 0 {
+		d = 0
+	} else if d >= WindowDays {
+		d = WindowDays - 1
+	}
+	return d / shardDays
+}
+
+// shard is one day-range bucket: an independently sorted run plus
+// per-(source, vector) counts that let queries prune or count it without
+// scanning. unindexed counts events whose Source or Vector fall outside
+// the enum ranges (possible only through Add with hand-built events);
+// a nonzero value disables the count fast paths for the shard.
+type shard struct {
+	events    []Event
+	sorted    bool
+	counts    [2][NumVectors]int
+	unindexed int
+}
+
+func (sh *shard) sortAndCount() {
+	sort.SliceStable(sh.events, func(i, j int) bool {
+		if sh.events[i].Start != sh.events[j].Start {
+			return sh.events[i].Start < sh.events[j].Start
+		}
+		return sh.events[i].Target < sh.events[j].Target
+	})
+	sh.counts = [2][NumVectors]int{}
+	sh.unindexed = 0
+	for i := range sh.events {
+		e := &sh.events[i]
+		if int(e.Source) < 2 && int(e.Vector) < NumVectors {
+			sh.counts[e.Source][e.Vector]++
+		} else {
+			sh.unindexed++
+		}
+	}
+	sh.sorted = true
+}
+
+// countsIndex is the store-level per-day rollup: in-window events counted
+// by (day, source, vector), out-of-window events by (source, vector).
+type countsIndex struct {
+	day       [][2][NumVectors]int32 // len WindowDays
+	out       [2][NumVectors]int32
+	outTotal  int
+	unindexed int
+}
+
+// Store holds attack events sharded by day-of-window. Shards keep
+// independently sorted runs; by-target and per-day count indexes are built
+// lazily on first use and invalidated by Add. Access events through
+// Query; the Events slice contract is retained only as a deprecated
+// compatibility shim.
+//
+// A Store is not safe for concurrent use without external synchronization:
+// even read paths may build lazy indexes. Fold parallelizes internally
+// after sealing the lazy state and is safe on its own.
 type Store struct {
-	events []Event
-	sorted bool
+	shards []shard
+	length int
+
+	// lazily built, invalidated by Add
+	flat    []Event // Events() compatibility cache
+	counts  *countsIndex
+	targets map[netx.Addr][]*Event
 }
 
 // NewStore builds a store from events (which it copies).
 func NewStore(events []Event) *Store {
-	s := &Store{events: append([]Event(nil), events...)}
-	s.sortEvents()
+	s := &Store{}
+	for _, e := range events {
+		s.Add(e)
+	}
 	return s
 }
 
-// Add appends an event, invalidating sort order until the next query.
+// Add appends an event, dirtying only the shard its start day falls in.
 func (s *Store) Add(e Event) {
-	s.events = append(s.events, e)
-	s.sorted = false
-}
-
-func (s *Store) sortEvents() {
-	sort.SliceStable(s.events, func(i, j int) bool {
-		if s.events[i].Start != s.events[j].Start {
-			return s.events[i].Start < s.events[j].Start
-		}
-		return s.events[i].Target < s.events[j].Target
-	})
-	s.sorted = true
-}
-
-// Events returns the events sorted by start time. The returned slice is
-// owned by the store; callers must not mutate it.
-func (s *Store) Events() []Event {
-	if !s.sorted {
-		s.sortEvents()
+	if s.shards == nil {
+		s.shards = make([]shard, numShards)
 	}
-	return s.events
+	sh := &s.shards[shardOf(e.Start)]
+	sh.events = append(sh.events, e)
+	sh.sorted = false
+	s.length++
+	s.flat, s.counts, s.targets = nil, nil, nil
+}
+
+// ensureSorted sorts any dirty shard (and refreshes its counts).
+func (s *Store) ensureSorted() {
+	for i := range s.shards {
+		if !s.shards[i].sorted {
+			s.shards[i].sortAndCount()
+		}
+	}
+}
+
+// ensureCounts builds the per-day count index.
+func (s *Store) ensureCounts() {
+	if s.counts != nil {
+		return
+	}
+	s.ensureSorted()
+	c := &countsIndex{day: make([][2][NumVectors]int32, WindowDays)}
+	for si := range s.shards {
+		sh := &s.shards[si]
+		c.unindexed += sh.unindexed
+		for i := range sh.events {
+			e := &sh.events[i]
+			if int(e.Source) >= 2 || int(e.Vector) >= NumVectors {
+				continue
+			}
+			if d := e.Day(); d >= 0 && d < WindowDays {
+				c.day[d][e.Source][e.Vector]++
+			} else {
+				c.out[e.Source][e.Vector]++
+				c.outTotal++
+			}
+		}
+	}
+	s.counts = c
+}
+
+// ensureTargets builds the by-target index. The indexed pointers stay
+// valid until the next Add.
+func (s *Store) ensureTargets() {
+	if s.targets != nil {
+		return
+	}
+	s.ensureSorted()
+	m := make(map[netx.Addr][]*Event, s.length/2+1)
+	for si := range s.shards {
+		sh := &s.shards[si]
+		for i := range sh.events {
+			e := &sh.events[i]
+			m[e.Target] = append(m[e.Target], e)
+		}
+	}
+	s.targets = m
+}
+
+// Events returns all events sorted by (Start, Target).
+//
+// Deprecated: Events materializes a full copy of the store on first call
+// after a mutation; use Query with Iter, Count or Fold instead, which
+// push filters down to shard and index pruning. Retained for persistence
+// round-trip tests and external callers not yet migrated.
+func (s *Store) Events() []Event {
+	if s.flat == nil {
+		s.ensureSorted()
+		flat := make([]Event, 0, s.length)
+		for i := range s.shards {
+			flat = append(flat, s.shards[i].events...)
+		}
+		s.flat = flat
+	}
+	return s.flat
 }
 
 // Len returns the number of events.
-func (s *Store) Len() int { return len(s.events) }
+func (s *Store) Len() int { return s.length }
 
-// ByTarget groups event indices by target address.
+// ByTarget groups event indices (into Events()) by target address.
+//
+// Deprecated: use Query().GroupByTarget, which returns event pointers
+// without materializing the flat slice.
 func (s *Store) ByTarget() map[netx.Addr][]int {
 	evs := s.Events()
 	out := make(map[netx.Addr][]int)
@@ -64,20 +202,31 @@ func (s *Store) ByTarget() map[netx.Addr][]int {
 	return out
 }
 
-// UniqueTargets returns the number of distinct target addresses.
+// UniqueTargets returns the number of distinct target addresses. It
+// reuses the by-target index when already built but does not force it:
+// counting needs only an address set, not per-event pointer slices.
 func (s *Store) UniqueTargets() int {
-	seen := make(map[netx.Addr]struct{}, len(s.events))
-	for i := range s.events {
-		seen[s.events[i].Target] = struct{}{}
+	if s.targets != nil {
+		return len(s.targets)
+	}
+	seen := make(map[netx.Addr]struct{}, s.length/2+1)
+	for si := range s.shards {
+		sh := &s.shards[si]
+		for i := range sh.events {
+			seen[sh.events[i].Target] = struct{}{}
+		}
 	}
 	return len(seen)
 }
 
 // UniqueBlocks returns distinct /24s, /16s given the mask length.
 func (s *Store) UniqueBlocks(maskBits int) int {
-	seen := make(map[netx.Addr]struct{}, len(s.events))
-	for i := range s.events {
-		seen[s.events[i].Target.Mask(maskBits)] = struct{}{}
+	seen := make(map[netx.Addr]struct{}, s.length)
+	for si := range s.shards {
+		sh := &s.shards[si]
+		for i := range sh.events {
+			seen[sh.events[i].Target.Mask(maskBits)] = struct{}{}
+		}
 	}
 	return len(seen)
 }
@@ -96,7 +245,9 @@ func (s *Store) WriteCSV(w io.Writer) error {
 		return err
 	}
 	rec := make([]string, len(csvHeader))
-	for _, e := range s.Events() {
+	var ports strings.Builder
+	var err error
+	for e := range s.Query().Iter() {
 		rec[0] = e.Source.String()
 		rec[1] = e.Vector.String()
 		rec[2] = e.Target.String()
@@ -106,15 +257,15 @@ func (s *Store) WriteCSV(w io.Writer) error {
 		rec[6] = strconv.FormatUint(e.Bytes, 10)
 		rec[7] = strconv.FormatFloat(e.MaxPPS, 'g', -1, 64)
 		rec[8] = strconv.FormatFloat(e.AvgRPS, 'g', -1, 64)
-		ports := ""
+		ports.Reset()
 		for i, p := range e.Ports {
 			if i > 0 {
-				ports += ";"
+				ports.WriteByte(';')
 			}
-			ports += strconv.Itoa(int(p))
+			ports.WriteString(strconv.Itoa(int(p)))
 		}
-		rec[9] = ports
-		if err := cw.Write(rec); err != nil {
+		rec[9] = ports.String()
+		if err = cw.Write(rec); err != nil {
 			return err
 		}
 	}
@@ -132,7 +283,7 @@ func ReadCSV(r io.Reader) (*Store, error) {
 	if len(head) != len(csvHeader) || head[0] != "source" {
 		return nil, fmt.Errorf("attack: unexpected CSV header %v", head)
 	}
-	var events []Event
+	s := &Store{}
 	for line := 2; ; line++ {
 		rec, err := cr.Read()
 		if err == io.EOF {
@@ -188,9 +339,9 @@ func ReadCSV(r io.Reader) (*Store, error) {
 				}
 			}
 		}
-		events = append(events, e)
+		s.Add(e)
 	}
-	return NewStore(events), nil
+	return s, nil
 }
 
 // --- binary persistence ----------------------------------------------
@@ -206,11 +357,12 @@ func (s *Store) WriteBinary(w io.Writer) error {
 		return err
 	}
 	var scratch [8]byte
-	binary.LittleEndian.PutUint64(scratch[:], uint64(len(s.Events())))
+	binary.LittleEndian.PutUint64(scratch[:], uint64(s.length))
 	if _, err := bw.Write(scratch[:]); err != nil {
 		return err
 	}
-	for _, e := range s.Events() {
+	var werr error
+	for e := range s.Query().Iter() {
 		var rec [56]byte
 		rec[0] = byte(e.Source)
 		rec[1] = byte(e.Vector)
@@ -220,22 +372,23 @@ func (s *Store) WriteBinary(w io.Writer) error {
 		binary.LittleEndian.PutUint64(rec[16:24], uint64(e.End))
 		binary.LittleEndian.PutUint64(rec[24:32], e.Packets)
 		binary.LittleEndian.PutUint64(rec[32:40], e.Bytes)
-		binary.LittleEndian.PutUint64(rec[40:48], uint64(floatBits(e.MaxPPS)))
-		binary.LittleEndian.PutUint64(rec[48:56], uint64(floatBits(e.AvgRPS)))
-		if _, err := bw.Write(rec[:]); err != nil {
-			return err
+		binary.LittleEndian.PutUint64(rec[40:48], floatBits(e.MaxPPS))
+		binary.LittleEndian.PutUint64(rec[48:56], floatBits(e.AvgRPS))
+		if _, werr = bw.Write(rec[:]); werr != nil {
+			return werr
 		}
 		for _, p := range e.Ports {
 			binary.LittleEndian.PutUint16(scratch[:2], p)
-			if _, err := bw.Write(scratch[:2]); err != nil {
-				return err
+			if _, werr = bw.Write(scratch[:2]); werr != nil {
+				return werr
 			}
 		}
 	}
 	return bw.Flush()
 }
 
-// ReadBinary parses a store written by WriteBinary.
+// ReadBinary parses a store written by WriteBinary. Source and Vector
+// bytes are validated against their enum ranges rather than trusted.
 func ReadBinary(r io.Reader) (*Store, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(binMagic))
@@ -254,11 +407,17 @@ func ReadBinary(r io.Reader) (*Store, error) {
 	if n > maxEvents {
 		return nil, fmt.Errorf("attack: implausible event count %d", n)
 	}
-	events := make([]Event, 0, n)
+	s := &Store{}
 	for i := uint64(0); i < n; i++ {
 		var rec [56]byte
 		if _, err := io.ReadFull(br, rec[:]); err != nil {
 			return nil, fmt.Errorf("attack: record %d: %w", i, err)
+		}
+		if rec[0] > byte(SourceHoneypot) {
+			return nil, fmt.Errorf("attack: record %d: bad source %d", i, rec[0])
+		}
+		if int(rec[1]) >= NumVectors {
+			return nil, fmt.Errorf("attack: record %d: bad vector %d", i, rec[1])
 		}
 		e := Event{
 			Source:  Source(rec[0]),
@@ -281,7 +440,7 @@ func ReadBinary(r io.Reader) (*Store, error) {
 				e.Ports[j] = binary.LittleEndian.Uint16(scratch[:2])
 			}
 		}
-		events = append(events, e)
+		s.Add(e)
 	}
-	return NewStore(events), nil
+	return s, nil
 }

@@ -4,6 +4,10 @@
 // active DNS measurement history, and the DPS-use data set, and derives
 // every analysis of §4 (attack events), §5 (effect on the Web) and §6
 // (DPS migration) — one method per table and figure.
+//
+// All analyses consume the attack stores through the attack.Query API:
+// filters push down to shard/index pruning, and the per-day aggregations
+// fan out across shards with attack.Fold.
 package core
 
 import (
@@ -29,6 +33,7 @@ type Dataset struct {
 
 	// lazily computed caches
 	rev        *openintel.ReverseIndex
+	statsDone  bool
 	telPct     []float64 // sorted telescope intensities
 	hpPct      []float64 // sorted honeypot intensities
 	telMean    float64
@@ -51,28 +56,36 @@ func New(tel, hp *attack.Store, plan *ipmeta.Plan, hist *openintel.History, wind
 	}
 }
 
-// Events returns the events of one source.
-func (ds *Dataset) events(src attack.Source) []attack.Event {
+// All starts a query spanning both attack data sets.
+func (ds *Dataset) All() *attack.Query {
+	return attack.QueryStores(ds.Telescope, ds.Honeypot)
+}
+
+// source returns the store of one sensor.
+func (ds *Dataset) source(src attack.Source) *attack.Store {
 	if src == attack.SourceTelescope {
-		return ds.Telescope.Events()
+		return ds.Telescope
 	}
-	return ds.Honeypot.Events()
+	return ds.Honeypot
 }
 
 // intensityStats caches the per-dataset sorted intensity arrays and means
-// used for percentile normalization and the medium+ threshold.
+// used for percentile normalization and the medium+ threshold. Must be
+// called before any parallel fold whose accumulator consults
+// IntensityPercentile or MediumPlus.
 func (ds *Dataset) intensityStats() {
-	if ds.telPct != nil {
+	if ds.statsDone {
 		return
 	}
-	for _, e := range ds.Telescope.Events() {
+	ds.statsDone = true
+	for e := range ds.Telescope.Query().Iter() {
 		ds.telPct = append(ds.telPct, e.MaxPPS)
 		ds.telMean += e.MaxPPS
 	}
 	if n := len(ds.telPct); n > 0 {
 		ds.telMean /= float64(n)
 	}
-	for _, e := range ds.Honeypot.Events() {
+	for e := range ds.Honeypot.Query().Iter() {
 		ds.hpPct = append(ds.hpPct, e.AvgRPS)
 		ds.hpMean += e.AvgRPS
 	}
@@ -118,30 +131,37 @@ func (ds *Dataset) reverseIndex() *openintel.ReverseIndex {
 	return ds.rev
 }
 
-// allEvents iterates both data sets.
+// allEvents iterates both data sets sequentially (telescope first), for
+// analyses whose accumulators carry cross-event state.
 func (ds *Dataset) allEvents(fn func(e *attack.Event)) {
-	for i, evs := 0, ds.Telescope.Events(); i < len(evs); i++ {
-		fn(&evs[i])
-	}
-	for i, evs := 0, ds.Honeypot.Events(); i < len(evs); i++ {
-		fn(&evs[i])
+	for e := range ds.All().Iter() {
+		fn(e)
 	}
 }
 
+// addrSet is the Fold shape shared by the unique-target analyses.
+func newAddrSet() map[netx.Addr]struct{} { return make(map[netx.Addr]struct{}) }
+
+func mergeAddrSets(a, b map[netx.Addr]struct{}) map[netx.Addr]struct{} {
+	if len(b) > len(a) {
+		a, b = b, a
+	}
+	for k := range b {
+		a[k] = struct{}{}
+	}
+	return a
+}
+
 // uniqueTargets collects the distinct target addresses of one source (or
-// of both with src < 0).
+// of both with src < 0), fanning out across shards.
 func (ds *Dataset) uniqueTargets(src int) map[netx.Addr]struct{} {
-	out := make(map[netx.Addr]struct{})
-	add := func(evs []attack.Event) {
-		for i := range evs {
-			out[evs[i].Target] = struct{}{}
-		}
+	q := ds.All()
+	if src >= 0 {
+		q = ds.source(attack.Source(src)).Query()
 	}
-	if src < 0 || attack.Source(src) == attack.SourceTelescope {
-		add(ds.Telescope.Events())
-	}
-	if src < 0 || attack.Source(src) == attack.SourceHoneypot {
-		add(ds.Honeypot.Events())
-	}
-	return out
+	return attack.Fold(q, newAddrSet,
+		func(m map[netx.Addr]struct{}, e *attack.Event) map[netx.Addr]struct{} {
+			m[e.Target] = struct{}{}
+			return m
+		}, mergeAddrSets)
 }

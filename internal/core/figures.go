@@ -26,6 +26,16 @@ func newDailyPanel(days int) *DailyPanel {
 	}
 }
 
+// addInto sums p into dst elementwise.
+func (p *DailyPanel) addInto(dst *DailyPanel) {
+	for d := range p.Attacks {
+		dst.Attacks[d] += p.Attacks[d]
+		dst.Targets[d] += p.Targets[d]
+		dst.Slash16s[d] += p.Slash16s[d]
+		dst.ASNs[d] += p.ASNs[d]
+	}
+}
+
 type panelStamps struct {
 	target map[int64]struct{}
 	s16    map[int64]struct{}
@@ -68,22 +78,42 @@ func newPanelStamps() *panelStamps {
 	}
 }
 
+// figure1Partial carries one shard task's panels plus its dedup stamps.
+// Shard tasks own disjoint day ranges (both stores shard by day-of-start),
+// so per-day dedup inside a task is globally correct and merging reduces
+// to elementwise sums.
+type figure1Partial struct {
+	tel, hp, comb       *DailyPanel
+	stTel, stHp, stComb *panelStamps
+}
+
 // Figure1 reproduces the three panels of Figure 1: daily attack and target
-// counts for the telescope, honeypot, and combined data sets.
+// counts for the telescope, honeypot, and combined data sets, computed as
+// one parallel fold over the shard-aligned event stream.
 func (ds *Dataset) Figure1() (tel, hp, combined *DailyPanel) {
-	tel = newDailyPanel(ds.WindowDays)
-	hp = newDailyPanel(ds.WindowDays)
-	combined = newDailyPanel(ds.WindowDays)
-	stTel, stHp, stComb := newPanelStamps(), newPanelStamps(), newPanelStamps()
-	for i, evs := 0, ds.Telescope.Events(); i < len(evs); i++ {
-		ds.accumulatePanel(tel, stTel, &evs[i])
-		ds.accumulatePanel(combined, stComb, &evs[i])
-	}
-	for i, evs := 0, ds.Honeypot.Events(); i < len(evs); i++ {
-		ds.accumulatePanel(hp, stHp, &evs[i])
-		ds.accumulatePanel(combined, stComb, &evs[i])
-	}
-	return tel, hp, combined
+	res := attack.Fold(ds.All(),
+		func() figure1Partial {
+			return figure1Partial{
+				tel: newDailyPanel(ds.WindowDays), hp: newDailyPanel(ds.WindowDays), comb: newDailyPanel(ds.WindowDays),
+				stTel: newPanelStamps(), stHp: newPanelStamps(), stComb: newPanelStamps(),
+			}
+		},
+		func(p figure1Partial, e *attack.Event) figure1Partial {
+			if e.Source == attack.SourceTelescope {
+				ds.accumulatePanel(p.tel, p.stTel, e)
+			} else {
+				ds.accumulatePanel(p.hp, p.stHp, e)
+			}
+			ds.accumulatePanel(p.comb, p.stComb, e)
+			return p
+		},
+		func(a, b figure1Partial) figure1Partial {
+			b.tel.addInto(a.tel)
+			b.hp.addInto(a.hp)
+			b.comb.addInto(a.comb)
+			return a
+		})
+	return res.tel, res.hp, res.comb
 }
 
 // DurationCDF summarizes one data set's duration distribution (Figure 2).
@@ -99,10 +129,10 @@ type DurationCDF struct {
 
 // Figure2 reproduces Figure 2: duration distributions per data set.
 func (ds *Dataset) Figure2() (tel, hp DurationCDF) {
-	build := func(name string, evs []attack.Event) DurationCDF {
-		var d []float64
-		for i := range evs {
-			d = append(d, float64(evs[i].Duration()))
+	build := func(name string, st *attack.Store) DurationCDF {
+		d := make([]float64, 0, st.Len())
+		for e := range st.Query().Iter() {
+			d = append(d, float64(e.Duration()))
 		}
 		c := stats.NewCDF(d)
 		return DurationCDF{
@@ -111,7 +141,7 @@ func (ds *Dataset) Figure2() (tel, hp DurationCDF) {
 			Over1h: 1 - c.At(3600), Over24h: 1 - c.At(86400),
 		}
 	}
-	return build("Telescope", ds.Telescope.Events()), build("Honeypot", ds.Honeypot.Events())
+	return build("Telescope", ds.Telescope), build("Honeypot", ds.Honeypot)
 }
 
 // IntensityCDF summarizes an intensity distribution (Figures 3 and 4).
@@ -125,8 +155,8 @@ type IntensityCDF struct {
 // Figure3 reproduces Figure 3: the telescope intensity distribution
 // (maximum packets per second observed at the telescope).
 func (ds *Dataset) Figure3() IntensityCDF {
-	var v []float64
-	for _, e := range ds.Telescope.Events() {
+	v := make([]float64, 0, ds.Telescope.Len())
+	for e := range ds.Telescope.Query().Iter() {
 		v = append(v, e.MaxPPS)
 	}
 	c := stats.NewCDF(v)
@@ -137,8 +167,8 @@ func (ds *Dataset) Figure3() IntensityCDF {
 // overall and for the top five reflection protocols.
 func (ds *Dataset) Figure4() []IntensityCDF {
 	byVec := make(map[attack.Vector][]float64)
-	var all []float64
-	for _, e := range ds.Honeypot.Events() {
+	all := make([]float64, 0, ds.Honeypot.Len())
+	for e := range ds.Honeypot.Query().Iter() {
 		byVec[e.Vector] = append(byVec[e.Vector], e.AvgRPS)
 		all = append(all, e.AvgRPS)
 	}
@@ -154,16 +184,24 @@ func (ds *Dataset) Figure4() []IntensityCDF {
 
 // Figure5 reproduces Figure 5: the daily series restricted to events of
 // medium or higher intensity (>= the mean intensity of the data set),
-// both data sets combined.
+// both data sets combined, as a parallel fold.
 func (ds *Dataset) Figure5() *DailyPanel {
-	p := newDailyPanel(ds.WindowDays)
-	st := newPanelStamps()
-	ds.allEvents(func(e *attack.Event) {
-		if ds.MediumPlus(e) {
-			ds.accumulatePanel(p, st, e)
-		}
-	})
-	return p
+	ds.intensityStats() // seal the lazy stats before fanning out
+	type partial struct {
+		p  *DailyPanel
+		st *panelStamps
+	}
+	res := attack.Fold(ds.All().Where(ds.MediumPlus),
+		func() partial { return partial{newDailyPanel(ds.WindowDays), newPanelStamps()} },
+		func(pt partial, e *attack.Event) partial {
+			ds.accumulatePanel(pt.p, pt.st, e)
+			return pt
+		},
+		func(a, b partial) partial {
+			b.p.addInto(a.p)
+			return a
+		})
+	return res.p
 }
 
 // Figure6 reproduces Figure 6: the histogram of Web sites co-hosted on
@@ -222,9 +260,10 @@ func (ds *Dataset) Figure7() Figure7Result {
 // TargetsIn24s returns unique attacked /24 blocks across both data sets
 // (the "one third of the Internet" headline, §4).
 func (ds *Dataset) TargetsIn24s() int {
-	s := make(map[netx.Addr]struct{})
-	ds.allEvents(func(e *attack.Event) {
-		s[e.Target.Slash24()] = struct{}{}
-	})
+	s := attack.Fold(ds.All(), newAddrSet,
+		func(m map[netx.Addr]struct{}, e *attack.Event) map[netx.Addr]struct{} {
+			m[e.Target.Slash24()] = struct{}{}
+			return m
+		}, mergeAddrSets)
 	return len(s)
 }

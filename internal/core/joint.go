@@ -36,29 +36,28 @@ type ASShare struct {
 	Share float64
 }
 
-// JointAttacks computes the §4 joint-attack analysis.
+// JointAttacks computes the §4 joint-attack analysis over the by-target
+// groupings of both stores.
 func (ds *Dataset) JointAttacks() JointStats {
-	telBy := ds.Telescope.ByTarget()
-	hpBy := ds.Honeypot.ByTarget()
-	telEvents := ds.Telescope.Events()
-	hpEvents := ds.Honeypot.Events()
+	telBy := ds.Telescope.Query().GroupByTarget()
+	hpBy := ds.Honeypot.Query().GroupByTarget()
 
 	var st JointStats
 	jointTargets := make(map[netx.Addr]bool)
-	var jointTelIdx, jointHpIdx []int
-	for target, tIdx := range telBy {
-		hIdx, ok := hpBy[target]
+	var jointTel, jointHp []*attack.Event
+	for target, tEvs := range telBy {
+		hEvs, ok := hpBy[target]
 		if !ok {
 			continue
 		}
 		st.CommonTargets++
 		overlap := false
-		for _, i := range tIdx {
-			for _, j := range hIdx {
-				if telEvents[i].Overlaps(&hpEvents[j]) {
+		for _, te := range tEvs {
+			for _, he := range hEvs {
+				if te.Overlaps(he) {
 					overlap = true
-					jointTelIdx = append(jointTelIdx, i)
-					jointHpIdx = append(jointHpIdx, j)
+					jointTel = append(jointTel, te)
+					jointHp = append(jointHp, he)
 				}
 			}
 		}
@@ -72,13 +71,12 @@ func (ds *Dataset) JointAttacks() JointStats {
 	single, withPorts := 0, 0
 	http, tcpSingle := 0, 0
 	p27015, udpSingle := 0, 0
-	seenTel := make(map[int]bool)
-	for _, i := range jointTelIdx {
-		if seenTel[i] {
+	seenTel := make(map[*attack.Event]bool)
+	for _, e := range jointTel {
+		if seenTel[e] {
 			continue
 		}
-		seenTel[i] = true
-		e := &telEvents[i]
+		seenTel[e] = true
 		if len(e.Ports) == 0 {
 			continue
 		}
@@ -110,15 +108,15 @@ func (ds *Dataset) JointAttacks() JointStats {
 	}
 
 	// Honeypot-side vector shifts.
-	seenHp := make(map[int]bool)
+	seenHp := make(map[*attack.Event]bool)
 	ntp, chargen, hpTotal := 0, 0, 0
-	for _, j := range jointHpIdx {
-		if seenHp[j] {
+	for _, e := range jointHp {
+		if seenHp[e] {
 			continue
 		}
-		seenHp[j] = true
+		seenHp[e] = true
 		hpTotal++
-		switch hpEvents[j].Vector {
+		switch e.Vector {
 		case attack.VectorNTP:
 			ntp++
 		case attack.VectorCharGen:

@@ -25,16 +25,17 @@ type Table1Row struct {
 func (ds *Dataset) Table1() []Table1Row {
 	row := func(name string, stores ...*attack.Store) Table1Row {
 		r := Table1Row{Source: name}
-		t24 := make(map[netx.Addr]struct{})
-		t16 := make(map[netx.Addr]struct{})
-		targets := make(map[netx.Addr]struct{})
-		asns := make(map[uint32]struct{})
 		for _, st := range stores {
 			r.Events += st.Len()
-			for _, e := range st.Events() {
-				targets[e.Target] = struct{}{}
-			}
 		}
+		targets := attack.Fold(attack.QueryStores(stores...), newAddrSet,
+			func(m map[netx.Addr]struct{}, e *attack.Event) map[netx.Addr]struct{} {
+				m[e.Target] = struct{}{}
+				return m
+			}, mergeAddrSets)
+		t24 := make(map[netx.Addr]struct{})
+		t16 := make(map[netx.Addr]struct{})
+		asns := make(map[uint32]struct{})
 		for a := range targets {
 			t24[a.Slash24()] = struct{}{}
 			t16[a.Slash16()] = struct{}{}
@@ -170,14 +171,10 @@ type MixRow struct {
 }
 
 // Table5 reproduces Table 5: the IP protocol distribution of randomly
-// spoofed attacks.
+// spoofed attacks, answered entirely from the count index.
 func (ds *Dataset) Table5() []MixRow {
-	var counts [4]int
-	total := 0
-	for _, e := range ds.Telescope.Events() {
-		counts[e.Vector]++
-		total++
-	}
+	counts := ds.Telescope.Query().CountByVector()
+	total := ds.Telescope.Len()
 	labels := []string{"TCP", "UDP", "ICMP", "Other"}
 	rows := make([]MixRow, 4)
 	for i := range rows {
@@ -187,17 +184,15 @@ func (ds *Dataset) Table5() []MixRow {
 }
 
 // Table6 reproduces Table 6: the reflection protocol distribution, top 5
-// plus Other.
+// plus Other, answered entirely from the count index.
 func (ds *Dataset) Table6() []MixRow {
-	counts := make(map[attack.Vector]int)
-	total := 0
-	for _, e := range ds.Honeypot.Events() {
-		counts[e.Vector]++
-		total++
-	}
+	counts := ds.Honeypot.Query().CountByVector()
+	total := ds.Honeypot.Len()
 	var rows []MixRow
-	for v, n := range counts {
-		rows = append(rows, MixRow{Label: v.String(), Events: n, Share: float64(n) / float64(total)})
+	for v := attack.Vector(0); int(v) < attack.NumVectors; v++ {
+		if n := counts[v]; n > 0 {
+			rows = append(rows, MixRow{Label: v.String(), Events: n, Share: float64(n) / float64(total)})
+		}
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].Events > rows[j].Events })
 	if len(rows) > 5 {
@@ -215,30 +210,35 @@ func (ds *Dataset) Table6() []MixRow {
 // attacks (events without port information, e.g. ICMP floods, are
 // excluded, as in the paper's TCP/UDP port analysis).
 func (ds *Dataset) Table7() []MixRow {
-	single, multi := 0, 0
-	for _, e := range ds.Telescope.Events() {
-		switch {
-		case len(e.Ports) == 0:
-		case e.SinglePort():
-			single++
-		default:
-			multi++
-		}
-	}
-	total := single + multi
+	type agg struct{ single, multi int }
+	a := attack.Fold(ds.Telescope.Query(),
+		func() agg { return agg{} },
+		func(a agg, e *attack.Event) agg {
+			switch {
+			case len(e.Ports) == 0:
+			case e.SinglePort():
+				a.single++
+			default:
+				a.multi++
+			}
+			return a
+		},
+		func(a, b agg) agg { return agg{a.single + b.single, a.multi + b.multi} })
+	total := a.single + a.multi
 	return []MixRow{
-		{Label: "single-port", Events: single, Share: float64(single) / float64(total)},
-		{Label: "multi-port", Events: multi, Share: float64(multi) / float64(total)},
+		{Label: "single-port", Events: a.single, Share: float64(a.single) / float64(total)},
+		{Label: "multi-port", Events: a.multi, Share: float64(a.multi) / float64(total)},
 	}
 }
 
 // Table8 reproduces Table 8: the top-5 targeted services among single-port
-// attacks of the given transport protocol, plus Other.
+// attacks of the given transport protocol, plus Other. The vector filter
+// prunes shards before the scan.
 func (ds *Dataset) Table8(vec attack.Vector, topN int) []MixRow {
 	counts := make(map[string]int)
 	total := 0
-	for _, e := range ds.Telescope.Events() {
-		if e.Vector != vec || !e.SinglePort() {
+	for e := range ds.Telescope.Query().Vectors(vec).Iter() {
+		if !e.SinglePort() {
 			continue
 		}
 		counts[attack.ServiceName(vec, e.Ports[0])]++

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"doscope/internal/attack"
 	"doscope/internal/netx"
 	"doscope/internal/stats"
@@ -79,18 +77,6 @@ func (ds *Dataset) webJoinResult() *webJoin {
 		hpDen = ds.hpPct[n-1]
 	}
 
-	// Merge both event streams in start-time order so the daily stamps
-	// are correct.
-	type evRef struct{ e *attack.Event }
-	var refs []evRef
-	for i, evs := 0, ds.Telescope.Events(); i < len(evs); i++ {
-		refs = append(refs, evRef{&evs[i]})
-	}
-	for i, evs := 0, ds.Honeypot.Events(); i < len(evs); i++ {
-		refs = append(refs, evRef{&evs[i]})
-	}
-	sort.SliceStable(refs, func(a, b int) bool { return refs[a].e.Start < refs[b].e.Start })
-
 	stampAll := make([]int32, nd)
 	stampMed := make([]int32, nd)
 	for i := range stampAll {
@@ -102,8 +88,9 @@ func (ds *Dataset) webJoinResult() *webJoin {
 	}
 	firstSeen := make(map[netx.Addr]*ipState)
 
-	for _, r := range refs {
-		e := r.e
+	// Consume both event streams merged in start-time order (the shard-
+	// aligned k-way merge) so the daily stamps are correct.
+	for e := range ds.All().IterByStart() {
 		day := e.Day()
 		if day < 0 || day >= ds.WindowDays {
 			continue
@@ -204,7 +191,7 @@ func (ds *Dataset) WebImpactStats() WebImpact {
 	w.TotalTargetIPs = j.uniqueTargets
 
 	tcp, webPort, telWeb := 0, 0, 0
-	for _, e := range ds.Telescope.Events() {
+	for e := range ds.Telescope.Query().Iter() {
 		if rev == nil || !rev.HasAddr(e.Target) {
 			continue
 		}
@@ -228,7 +215,7 @@ func (ds *Dataset) WebImpactStats() WebImpact {
 		w.WebPortShareOnWeb = float64(webPort) / float64(telWeb)
 	}
 	ntp, hpWeb := 0, 0
-	for _, e := range ds.Honeypot.Events() {
+	for e := range ds.Honeypot.Query().Iter() {
 		if rev == nil || !rev.HasAddr(e.Target) {
 			continue
 		}

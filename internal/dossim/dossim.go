@@ -222,11 +222,12 @@ func eventsFromPlan(cfg Config, planned []PlannedAttack) (tel, hp *attack.Store)
 // to the sites hosted there, producing the inputs of the migration model.
 func computeExposures(sc *Scenario) []webmodel.AttackExposure {
 	// Percentile-normalize intensities within each data set (§6, Table 9).
-	var telInt, hpInt []float64
-	for _, e := range sc.Telescope.Events() {
+	telInt := make([]float64, 0, sc.Telescope.Len())
+	for e := range sc.Telescope.Query().Iter() {
 		telInt = append(telInt, e.MaxPPS)
 	}
-	for _, e := range sc.Honeypot.Events() {
+	hpInt := make([]float64, 0, sc.Honeypot.Len())
+	for e := range sc.Honeypot.Query().Iter() {
 		hpInt = append(hpInt, e.AvgRPS)
 	}
 	sort.Float64s(telInt)
@@ -264,10 +265,10 @@ func computeExposures(sc *Scenario) []webmodel.AttackExposure {
 			a.longest = dur
 		}
 	}
-	for _, e := range sc.Telescope.Events() {
+	for e := range sc.Telescope.Query().Iter() {
 		consider(e.Target, e.Day(), pctOf(telInt, e.MaxPPS), e.Duration())
 	}
-	for _, e := range sc.Honeypot.Events() {
+	for e := range sc.Honeypot.Query().Iter() {
 		consider(e.Target, e.Day(), pctOf(hpInt, e.AvgRPS), e.Duration())
 	}
 

@@ -69,7 +69,7 @@ func runPacketLevel(cfg Config, planned []PlannedAttack) (tel, hp *attack.Store,
 		instance++
 	}
 	classifier.Flush()
-	return attack.NewStore(classifier.Events()), attack.NewStore(fleet.Flush()), nil
+	return classifier.Store(), fleet.FlushStore(), nil
 }
 
 // synthesizeBackscatter emits the victim's backscatter for one randomly

@@ -331,5 +331,9 @@ func (c *Classifier) Flush() {
 // Events returns the attack events emitted so far.
 func (c *Classifier) Events() []attack.Event { return c.events }
 
+// Store returns the events emitted so far as an indexed attack.Store,
+// the form the fusion pipeline and CLIs query.
+func (c *Classifier) Store() *attack.Store { return attack.NewStore(c.events) }
+
 // OpenFlows returns the number of victims with unclosed flows.
 func (c *Classifier) OpenFlows() int { return len(c.flows) }
