@@ -1,0 +1,32 @@
+# Pipelines must fail when any stage fails (the bench smoke pipes
+# through tee; without pipefail a crashing benchmark would pass green).
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -ec
+
+GO        ?= go
+# BENCHTIME=1x keeps `make bench` a smoke check; raise it (e.g. 1s) when
+# recording BENCH_<n>.json numbers meant for comparison.
+BENCHTIME ?= 1x
+# The benchmark families whose ns/op the perf-trajectory record tracks.
+BENCH_RECORD ?= BenchmarkAgg|BenchmarkColumnarScan|BenchmarkSegmentOpen
+
+.PHONY: build vet test bench clean
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# bench runs every benchmark in the module once as a smoke check and
+# records the query/columnar/segment suites' ns/op into BENCH_2.json.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) ./... | tee bench.out
+	$(GO) run ./cmd/benchjson -match '$(BENCH_RECORD)' < bench.out > BENCH_2.json
+	rm -f bench.out
+
+clean:
+	rm -f bench.out

@@ -10,6 +10,8 @@ package doscope_test
 import (
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"testing"
@@ -676,6 +678,182 @@ func BenchmarkAblationHoneypotGap(b *testing.B) {
 				events = len(col.Events())
 			}
 			b.ReportMetric(float64(events), "events")
+		})
+	}
+}
+
+// --- columnar-scan and segment benchmarks (PR 2) ------------------------
+
+// BenchmarkAggFilteredScan measures a source/vector/day aggregation that
+// misses the count index (the Where predicate disables it): the query
+// path rejects non-candidates on the ~14-byte hot columns and
+// materializes only rows that reach the predicate, versus the full
+// ~90-byte-record scan.
+func BenchmarkAggFilteredScan(b *testing.B) {
+	tel, hp := queryBenchStores(b)
+	pred := func(e *attack.Event) bool { return e.Packets%2 == 0 }
+	b.Run("scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			n := 0
+			for _, st := range []*attack.Store{tel, hp} {
+				for _, e := range st.Events() {
+					d := e.Day()
+					if e.Source == attack.SourceHoneypot && e.Vector == attack.VectorNTP &&
+						d >= 100 && d <= 400 && pred(&e) {
+						n++
+					}
+				}
+			}
+			benchSink = n
+		}
+	})
+	b.Run("query", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchSink = attack.QueryStores(tel, hp).
+				Source(attack.SourceHoneypot).
+				Vectors(attack.VectorNTP).
+				Days(100, 400).
+				Where(pred).
+				Count()
+		}
+	})
+}
+
+// BenchmarkAggPrefixCount measures a target-prefix count, the other
+// index-missing filter class: the columnar path touches only the target
+// and start columns and materializes nothing.
+func BenchmarkAggPrefixCount(b *testing.B) {
+	tel, hp := queryBenchStores(b)
+	prefix := tel.Events()[0].Target
+	b.Run("scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			n := 0
+			for _, st := range []*attack.Store{tel, hp} {
+				for _, e := range st.Events() {
+					if d := e.Day(); e.Target.Mask(16) == prefix.Mask(16) && d >= 0 && d < attack.WindowDays {
+						n++
+					}
+				}
+			}
+			benchSink = n
+		}
+	})
+	b.Run("query", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchSink = attack.QueryStores(tel, hp).
+				TargetPrefix(prefix, 16).
+				Days(0, attack.WindowDays-1).
+				Count()
+		}
+	})
+}
+
+// BenchmarkColumnarScan isolates the layout win: counting one vector's
+// events via the hot columns (key + start + target, ~14 B/event) versus
+// walking the materialized event slice (~90 B/event). The predicate-free
+// prefix filter forces both sides off the count index.
+func BenchmarkColumnarScan(b *testing.B) {
+	tel, hp := queryBenchStores(b)
+	b.Run("events-slice", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			n := 0
+			for _, st := range []*attack.Store{tel, hp} {
+				for _, e := range st.Events() {
+					if e.Vector == attack.VectorDNS && e.Target.Mask(8) == 0 {
+						n++
+					}
+				}
+			}
+			benchSink = n
+		}
+	})
+	b.Run("hot-columns", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchSink = attack.QueryStores(tel, hp).
+				Vectors(attack.VectorDNS).
+				TargetPrefix(0, 8).
+				Count()
+		}
+	})
+}
+
+// segmentEvents synthesizes n deterministic events spread over the
+// window, for the segment open benchmarks.
+func segmentEvents(n int) []attack.Event {
+	rng := rand.New(rand.NewSource(17))
+	evs := make([]attack.Event, n)
+	for i := range evs {
+		e := attack.Event{
+			Target:  netx.AddrFrom4(198, byte(rng.Intn(64)), byte(rng.Intn(256)), byte(rng.Intn(256))),
+			Start:   attack.WindowStart + rng.Int63n(attack.WindowDays*86400),
+			Packets: rng.Uint64() % 1e9,
+			Bytes:   rng.Uint64() % 1e12,
+		}
+		if i%2 == 0 {
+			e.Source = attack.SourceTelescope
+			e.Vector = attack.Vector(rng.Intn(4))
+			e.MaxPPS = rng.Float64() * 1e4
+			e.Ports = []uint16{80, uint16(rng.Intn(65536))}
+		} else {
+			e.Source = attack.SourceHoneypot
+			e.Vector = attack.VectorNTP + attack.Vector(rng.Intn(8))
+			e.AvgRPS = rng.Float64() * 1e4
+		}
+		e.End = e.Start + rng.Int63n(86400)
+		evs[i] = e
+	}
+	return evs
+}
+
+// BenchmarkSegmentOpen shows DOSEVT02's O(1) open: ns/op must stay flat
+// as the capture grows, because only the footer is decoded and the
+// columns are served from the mapping. The DOSEVT01 reader at the same
+// sizes decodes every record.
+func BenchmarkSegmentOpen(b *testing.B) {
+	for _, n := range []int{20000, 80000, 320000} {
+		st := attack.NewStore(segmentEvents(n))
+		dir := b.TempDir()
+		segPath := filepath.Join(dir, "events.seg")
+		f, err := os.Create(segPath)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := st.WriteSegment(f); err != nil {
+			b.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			b.Fatal(err)
+		}
+		binPath := filepath.Join(dir, "events.bin")
+		if f, err = os.Create(binPath); err != nil {
+			b.Fatal(err)
+		}
+		if err := st.WriteBinary(f); err != nil {
+			b.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			b.Fatal(err)
+		}
+
+		b.Run(fmt.Sprintf("dosevt02-mmap/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s, closer, err := attack.OpenSegmentFile(segPath)
+				if err != nil {
+					b.Fatal(err)
+				}
+				benchSink = s.Len()
+				closer.Close()
+			}
+		})
+		b.Run(fmt.Sprintf("dosevt01-decode/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s, closer, err := attack.OpenEventsFile(binPath)
+				if err != nil {
+					b.Fatal(err)
+				}
+				benchSink = s.Len()
+				closer.Close()
+			}
 		})
 	}
 }

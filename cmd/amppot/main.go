@@ -6,7 +6,11 @@
 // Usage:
 //
 //	amppot [-listen 127.0.0.1] [-protocols NTP,DNS,CharGen] [-base-port 0]
-//	       [-duration 0] [-min-requests 100]
+//	       [-duration 0] [-min-requests 100] [-out file]
+//
+// -out selects the capture sink by extension: .seg writes the mmap-able
+// DOSEVT02 segment format, .bin the DOSEVT01 record stream, anything
+// else CSV. Without -out, CSV goes to stdout.
 //
 // With -base-port 0 each protocol listens on its well-known port (needs
 // privileges); otherwise protocol i listens on base-port+i.
@@ -18,6 +22,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -33,6 +38,7 @@ func main() {
 		basePort = flag.Int("base-port", 0, "0 = well-known ports; otherwise base for sequential ports")
 		duration = flag.Duration("duration", 0, "stop after this long (0 = until SIGINT)")
 		minReq   = flag.Uint64("min-requests", 100, "attack event threshold (requests)")
+		out      = flag.String("out", "", "write events to this file instead of stdout CSV (.seg = DOSEVT02 segment, .bin = DOSEVT01, otherwise CSV)")
 	)
 	flag.Parse()
 
@@ -93,9 +99,33 @@ func main() {
 			fmt.Fprintf(os.Stderr, "amppot:   %-7s %d events\n", v, counts[v])
 		}
 	}
-	if err := store.WriteCSV(os.Stdout); err != nil {
+	if err := write(store, *out); err != nil {
 		fatal(err)
 	}
+}
+
+// write sinks the extracted events: to stdout as CSV, or to a file in
+// the codec its extension selects.
+func write(store *attack.Store, out string) error {
+	if out == "" {
+		return store.WriteCSV(os.Stdout)
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	switch filepath.Ext(out) {
+	case ".seg":
+		err = store.WriteSegment(f)
+	case ".bin":
+		err = store.WriteBinary(f)
+	default:
+		err = store.WriteCSV(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func fatal(err error) {

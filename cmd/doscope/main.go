@@ -5,12 +5,23 @@
 //
 // Usage:
 //
-//	doscope [-scale 0.001] [-seed 42] [-packet-level] [-save-events dir] [-section all]
+//	doscope [-scale 0.001] [-seed 42] [-packet-level] [-save-events dir]
+//	        [-load-events dir] [-section all]
 //
 // -scale 0.001 reproduces the paper at 1/1000 (≈21k attack events, 210k
 // Web sites) in a few seconds. -packet-level synthesizes raw backscatter
 // and reflection traffic and classifies it with the real telescope and
 // honeypot code paths (use scales <= 0.00005).
+//
+// -save-events writes telescope.seg / honeypot.seg in the mmap-able
+// DOSEVT02 segment format, the scenario cache for bulk captures;
+// -load-events serves the attack stores from such a directory (DOSEVT02
+// files are mmap'd and open in O(1) regardless of size; legacy DOSEVT01
+// .bin files are decoded as a fallback) and skips attack planning and
+// event synthesis entirely. The segment records no generation config, so
+// pass the same -scale and -seed as at save time: the Web model is still
+// generated from those flags, and mismatched values would join cached
+// events against a differently-sized site population.
 package main
 
 import (
@@ -30,16 +41,28 @@ func main() {
 		scale       = flag.Float64("scale", 0.001, "fraction of the paper's full-scale event and domain counts")
 		seed        = flag.Int64("seed", 42, "deterministic scenario seed")
 		packetLevel = flag.Bool("packet-level", false, "synthesize raw packets and run the real classifiers (slow; use small scales)")
-		saveEvents  = flag.String("save-events", "", "directory to write telescope.bin / honeypot.bin event stores")
+		saveEvents  = flag.String("save-events", "", "directory to write telescope.seg / honeypot.seg DOSEVT02 event segments")
+		loadEvents  = flag.String("load-events", "", "directory to serve the attack stores from (telescope/honeypot .seg mmap'd, .bin decoded); use the -scale/-seed the cache was saved with")
 		section     = flag.String("section", "all", "report section: all, tables, figures, joint, web")
 	)
 	flag.Parse()
 
-	sc, err := dossim.Generate(dossim.Config{
+	cfg := dossim.Config{
 		Seed:        *seed,
 		Scale:       *scale,
 		PacketLevel: *packetLevel,
-	})
+	}
+	if *loadEvents != "" {
+		// Serve the attack stores from the segment cache; generation
+		// then skips attack planning and event synthesis entirely.
+		tel, hp, err := load(*loadEvents)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doscope:", err)
+			os.Exit(1)
+		}
+		cfg.Telescope, cfg.Honeypot = tel, hp
+	}
+	sc, err := dossim.Generate(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "doscope:", err)
 		os.Exit(1)
@@ -105,14 +128,14 @@ func save(sc *dossim.Scenario, dir string) error {
 		return err
 	}
 	for name, store := range map[string]*attack.Store{
-		"telescope.bin": sc.Telescope,
-		"honeypot.bin":  sc.Honeypot,
+		"telescope.seg": sc.Telescope,
+		"honeypot.seg":  sc.Honeypot,
 	} {
 		f, err := os.Create(filepath.Join(dir, name))
 		if err != nil {
 			return err
 		}
-		if err := store.WriteBinary(f); err != nil {
+		if err := store.WriteSegment(f); err != nil {
 			f.Close()
 			return err
 		}
@@ -121,4 +144,29 @@ func save(sc *dossim.Scenario, dir string) error {
 		}
 	}
 	return nil
+}
+
+// load opens the attack stores cached in dir, looking for
+// telescope/honeypot with a .seg (DOSEVT02, mmap'd) or .bin (DOSEVT01,
+// decoded) suffix. The mappings stay open for the life of the process;
+// the OS reclaims them on exit.
+func load(dir string) (tel, hp *attack.Store, err error) {
+	open := func(base string) (*attack.Store, error) {
+		for _, ext := range []string{".seg", ".bin"} {
+			path := filepath.Join(dir, base+ext)
+			if _, err := os.Stat(path); err != nil {
+				continue
+			}
+			st, _, err := attack.OpenEventsFile(path)
+			return st, err
+		}
+		return nil, fmt.Errorf("no %s.seg or %s.bin in %s", base, base, dir)
+	}
+	if tel, err = open("telescope"); err != nil {
+		return nil, nil, err
+	}
+	if hp, err = open("honeypot"); err != nil {
+		return nil, nil, err
+	}
+	return tel, hp, nil
 }

@@ -31,6 +31,30 @@
 // is built on these primitives; Store.Events remains only as a deprecated
 // compatibility shim.
 //
+// # Columnar layout and the scratch-Event contract
+//
+// Each shard stores its events column-wise: the hot filter columns
+// (Start, Target, and a packed Source|Vector key, ~14 bytes per event)
+// are all a filtered scan or count reads, cold payload columns are
+// touched only for matching rows, and port lists live in a shared
+// per-shard arena addressed by (offset, length). Iter, IterByStart and
+// Fold yield a per-iteration scratch *Event materialized from the
+// columns: it is valid until the next yield, and its Ports slice aliases
+// store-owned memory valid until the store is mutated. Callers that
+// retain events across iterations must copy them (GroupByTarget and
+// Events return stable copies).
+//
+// # On-disk formats
+//
+// Stores persist as CSV, as the record-oriented DOSEVT01 stream
+// (Store.WriteBinary/ReadBinary), or as the column-oriented DOSEVT02
+// segment (Store.WriteSegment/OpenSegment/OpenSegmentFile): the shard
+// columns written verbatim as aligned per-shard blocks plus a footer of
+// offsets, which a reader mmaps and serves a Store from directly —
+// opening a multi-GB capture in O(1) time and memory. OpenEventsFile
+// detects either codec by magic. See the README for the exact block
+// layout, and attack/segment.go for the reference.
+//
 // Start with the README, run `go run ./examples/quickstart`, or regenerate
 // the full evaluation with `go test -bench=. .` or `go run ./cmd/doscope`.
 package doscope

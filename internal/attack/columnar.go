@@ -1,0 +1,193 @@
+package attack
+
+import (
+	"cmp"
+	"math"
+	"slices"
+
+	"doscope/internal/netx"
+)
+
+// shard is one day-range bucket stored column-wise (struct of arrays).
+// The hot filter columns — start, target, and the packed source|vector
+// key — are what Count/CountByDay and every filtered scan read: ~14 bytes
+// per event instead of the full ~90-byte record. The cold payload columns
+// are only touched when a matching row is materialized into an Event
+// view. Port lists live in one shared per-shard arena referenced by
+// (offset, length), so ingest performs no per-event allocation.
+//
+// All columns are parallel: row i of every column describes event i. A
+// shard opened from a DOSEVT02 segment aliases read-only (mmap'd) memory
+// and is marked frozen; appendRow copies it out before mutating.
+type shard struct {
+	// Hot filter columns.
+	start  []int64
+	target []netx.Addr
+	key    []uint16 // packed Source<<8 | Vector
+
+	// Cold payload columns.
+	end     []int64
+	packets []uint64
+	bytes   []uint64
+	maxPPS  []float64
+	avgRPS  []float64
+
+	// Port lists: rows reference [portOff, portOff+portLen) in arena.
+	portOff []uint32
+	portLen []uint16
+	arena   []uint16
+
+	sorted  bool // rows are in (start, target) order
+	counted bool // counts/unindexed reflect the current rows
+	frozen  bool // columns alias read-only segment memory
+
+	// Per-(source, vector) counts let queries prune or count the shard
+	// without scanning. unindexed counts events whose Source or Vector
+	// fall outside the enum ranges (possible only through Add with
+	// hand-built events); a nonzero value disables the count fast paths.
+	counts    [2][NumVectors]int
+	unindexed int
+}
+
+// packKey packs an event's sensor and vector into the hot key column.
+func packKey(src Source, vec Vector) uint16 {
+	return uint16(src)<<8 | uint16(vec)
+}
+
+// rows returns the number of events in the shard.
+func (sh *shard) rows() int { return len(sh.start) }
+
+// ports returns row i's port list as a view into the arena. Out-of-range
+// references (possible only in a corrupt segment file) yield nil instead
+// of panicking.
+func (sh *shard) ports(i int) []uint16 {
+	n := int(sh.portLen[i])
+	if n == 0 {
+		return nil
+	}
+	off := int(sh.portOff[i])
+	if off+n > len(sh.arena) {
+		return nil
+	}
+	return sh.arena[off : off+n : off+n]
+}
+
+// view materializes row i into e. The Ports slice aliases the shard
+// arena: valid for reading until the store is mutated.
+func (sh *shard) view(i int, e *Event) {
+	k := sh.key[i]
+	e.Source = Source(k >> 8)
+	e.Vector = Vector(k & 0xff)
+	e.Target = sh.target[i]
+	e.Start = sh.start[i]
+	e.End = sh.end[i]
+	e.Packets = sh.packets[i]
+	e.Bytes = sh.bytes[i]
+	e.MaxPPS = sh.maxPPS[i]
+	e.AvgRPS = sh.avgRPS[i]
+	e.Ports = sh.ports(i)
+}
+
+// appendRow appends e's fields to the columns, copying its ports into
+// the arena. Frozen (segment-backed) shards are copied to the heap first.
+func (sh *shard) appendRow(e *Event) {
+	if sh.frozen {
+		sh.thaw()
+	}
+	sh.start = append(sh.start, e.Start)
+	sh.target = append(sh.target, e.Target)
+	sh.key = append(sh.key, packKey(e.Source, e.Vector))
+	sh.end = append(sh.end, e.End)
+	sh.packets = append(sh.packets, e.Packets)
+	sh.bytes = append(sh.bytes, e.Bytes)
+	sh.maxPPS = append(sh.maxPPS, e.MaxPPS)
+	sh.avgRPS = append(sh.avgRPS, e.AvgRPS)
+	n := len(e.Ports)
+	if n > math.MaxUint16 {
+		n = math.MaxUint16
+	}
+	sh.portOff = append(sh.portOff, uint32(len(sh.arena)))
+	sh.portLen = append(sh.portLen, uint16(n))
+	sh.arena = append(sh.arena, e.Ports[:n]...)
+	sh.sorted, sh.counted = false, false
+}
+
+// thaw copies every column out of read-only segment memory so the shard
+// can be appended to and re-sorted.
+func (sh *shard) thaw() {
+	sh.start = slices.Clone(sh.start)
+	sh.target = slices.Clone(sh.target)
+	sh.key = slices.Clone(sh.key)
+	sh.end = slices.Clone(sh.end)
+	sh.packets = slices.Clone(sh.packets)
+	sh.bytes = slices.Clone(sh.bytes)
+	sh.maxPPS = slices.Clone(sh.maxPPS)
+	sh.avgRPS = slices.Clone(sh.avgRPS)
+	sh.portOff = slices.Clone(sh.portOff)
+	sh.portLen = slices.Clone(sh.portLen)
+	sh.arena = slices.Clone(sh.arena)
+	sh.frozen = false
+}
+
+// gather applies a row permutation to one column.
+func gather[T any](col []T, perm []int32) []T {
+	out := make([]T, len(col))
+	for i, p := range perm {
+		out[i] = col[p]
+	}
+	return out
+}
+
+// sortAndCount re-sorts the shard's rows by (Start, Target) and refreshes
+// its counts. The sort orders a row permutation over the two hot columns
+// and then gathers every column through it; arena entries never move,
+// only the (offset, length) references do.
+func (sh *shard) sortAndCount() {
+	n := sh.rows()
+	perm := make([]int32, n)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	slices.SortStableFunc(perm, func(a, b int32) int {
+		if c := cmp.Compare(sh.start[a], sh.start[b]); c != 0 {
+			return c
+		}
+		return cmp.Compare(sh.target[a], sh.target[b])
+	})
+	inOrder := true
+	for i := range perm {
+		if perm[i] != int32(i) {
+			inOrder = false
+			break
+		}
+	}
+	if !inOrder {
+		sh.start = gather(sh.start, perm)
+		sh.target = gather(sh.target, perm)
+		sh.key = gather(sh.key, perm)
+		sh.end = gather(sh.end, perm)
+		sh.packets = gather(sh.packets, perm)
+		sh.bytes = gather(sh.bytes, perm)
+		sh.maxPPS = gather(sh.maxPPS, perm)
+		sh.avgRPS = gather(sh.avgRPS, perm)
+		sh.portOff = gather(sh.portOff, perm)
+		sh.portLen = gather(sh.portLen, perm)
+	}
+	sh.countRows()
+	sh.sorted = true
+}
+
+// countRows rebuilds the per-(source, vector) counts from the key column.
+func (sh *shard) countRows() {
+	sh.counts = [2][NumVectors]int{}
+	sh.unindexed = 0
+	for _, k := range sh.key {
+		src, vec := int(k>>8), int(k&0xff)
+		if src < 2 && vec < NumVectors {
+			sh.counts[src][vec]++
+		} else {
+			sh.unindexed++
+		}
+	}
+	sh.counted = true
+}

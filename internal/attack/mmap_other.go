@@ -1,0 +1,23 @@
+//go:build !unix
+
+package attack
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// mapFile substitutes for mmap on platforms without it: the whole file
+// is read into memory and "unmapping" is a no-op. Segment opening loses
+// its O(1) property but keeps identical semantics.
+func mapFile(f *os.File, size int64) (data []byte, unmap func() error, err error) {
+	if size < 0 || size > int64(int(^uint(0)>>1)) {
+		return nil, nil, fmt.Errorf("unreadable file size %d", size)
+	}
+	data, err = io.ReadAll(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return nil }, nil
+}

@@ -1,0 +1,22 @@
+//go:build unix
+
+package attack
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapFile maps a file read-only. The mapping outlives the file
+// descriptor, so callers may close f once mapFile returns.
+func mapFile(f *os.File, size int64) (data []byte, unmap func() error, err error) {
+	if size <= 0 || size > int64(int(^uint(0)>>1)) {
+		return nil, nil, fmt.Errorf("unmappable file size %d", size)
+	}
+	data, err = syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

@@ -15,6 +15,10 @@ import (
 // GroupByTarget, Events, and the package-level Fold) execute it, pushing
 // filters down to shard and index pruning instead of full scans.
 //
+// Execution is columnar: the source, vector, day, and target-prefix
+// filters are tested against the hot shard columns (~14 bytes per event)
+// and only matching rows are materialized into Event views.
+//
 // A Query is single-use and not safe for concurrent execution: terminals
 // may build lazy store indexes. Fold parallelizes internally and is safe
 // on its own.
@@ -24,6 +28,8 @@ type Query struct {
 	vecMask    uint32 // 0 = all
 	dayLo      int
 	dayHi      int
+	startLo    int64 // [startLo, startHi): the day range as timestamps
+	startHi    int64
 	hasDays    bool
 	prefix     netx.Addr
 	prefixBits int
@@ -57,6 +63,12 @@ func (q *Query) Vectors(vs ...Vector) *Query {
 // indexes and are excluded by any in-window range.
 func (q *Query) Days(lo, hi int) *Query {
 	q.hasDays, q.dayLo, q.dayHi = true, lo, hi
+	// Precompute the range as start timestamps: DayOf is a floor
+	// division, so d in [lo, hi] is exactly start in [lo*86400,
+	// (hi+1)*86400) relative to the window — two compares per row on
+	// the hot path instead of a division.
+	q.startLo = WindowStart + int64(lo)*86400
+	q.startHi = WindowStart + int64(hi+1)*86400
 	return q
 }
 
@@ -71,7 +83,8 @@ func (q *Query) TargetPrefix(a netx.Addr, bits int) *Query {
 }
 
 // Where adds an arbitrary predicate (composed with any previous one).
-// Predicate-filtered queries cannot use the count indexes.
+// Predicate-filtered queries cannot use the count indexes, and force
+// candidate rows to be materialized before the predicate runs.
 func (q *Query) Where(pred func(*Event) bool) *Query {
 	if prev := q.pred; prev != nil {
 		q.pred = func(e *Event) bool { return prev(e) && pred(e) }
@@ -81,24 +94,30 @@ func (q *Query) Where(pred func(*Event) bool) *Query {
 	return q
 }
 
-// match applies all filters to one event.
-func (q *Query) match(e *Event) bool {
-	if q.source >= 0 && e.Source != Source(q.source) {
-		return false
+// matchKey applies the columnar filters to row i's hot columns: the
+// packed source|vector key, target address, and start timestamp. This is
+// the fast path every scan takes before touching the payload columns;
+// each column is loaded only if a filter actually reads it, so e.g. a
+// vector-only query streams just the 2-byte key column.
+func (q *Query) matchKey(sh *shard, i int) bool {
+	if q.source >= 0 || q.vecMask != 0 {
+		key := sh.key[i]
+		if q.source >= 0 && key>>8 != uint16(q.source) {
+			return false
+		}
+		if q.vecMask != 0 {
+			if vec := key & 0xff; vec >= 32 || q.vecMask&(1<<vec) == 0 {
+				return false
+			}
+		}
 	}
-	if q.vecMask != 0 && (int(e.Vector) >= 32 || q.vecMask&(1<<e.Vector) == 0) {
+	if q.hasPrefix && sh.target[i].Mask(q.prefixBits) != q.prefix {
 		return false
 	}
 	if q.hasDays {
-		if d := e.Day(); d < q.dayLo || d > q.dayHi {
+		if s := sh.start[i]; s < q.startLo || s >= q.startHi {
 			return false
 		}
-	}
-	if q.hasPrefix && e.Target.Mask(q.prefixBits) != q.prefix {
-		return false
-	}
-	if q.pred != nil && !q.pred(e) {
-		return false
 	}
 	return true
 }
@@ -127,7 +146,7 @@ func (q *Query) shardRange() (lo, hi int) {
 
 // shardMayMatch prunes a shard using its (source, vector) counts.
 func (q *Query) shardMayMatch(sh *shard) bool {
-	if len(sh.events) == 0 {
+	if sh.rows() == 0 {
 		return false
 	}
 	if (q.source < 0 && q.vecMask == 0) || sh.unindexed > 0 {
@@ -149,38 +168,85 @@ func (q *Query) shardMayMatch(sh *shard) bool {
 	return false
 }
 
+// forEachRow invokes fn for every matching (shard, row) of st in Iter
+// order, after sealing the store's lazy state. Exact-target queries walk
+// the by-target index instead of scanning. When the query carries a
+// predicate, scratch holds the materialized row as fn runs. fn returning
+// false stops the walk; forEachRow reports whether it ran to completion.
+func (q *Query) forEachRow(st *Store, scratch *Event, fn func(sh *shard, i int) bool) bool {
+	st.ensureSorted()
+	if q.hasPrefix && q.prefixBits >= 32 {
+		st.ensureTargets()
+		for _, ref := range st.targets[q.prefix] {
+			sh := &st.shards[ref.shard]
+			i := int(ref.row)
+			if !q.matchKey(sh, i) {
+				continue
+			}
+			if q.pred != nil {
+				sh.view(i, scratch)
+				if !q.pred(scratch) {
+					continue
+				}
+			}
+			if !fn(sh, i) {
+				return false
+			}
+		}
+		return true
+	}
+	lo, hi := q.shardRange()
+	for si := lo; si <= hi && si < len(st.shards); si++ {
+		sh := &st.shards[si]
+		if !q.shardMayMatch(sh) {
+			continue
+		}
+		if q.pred == nil {
+			// Pure columnar scan: only the hot columns are read.
+			for i, n := 0, sh.rows(); i < n; i++ {
+				if q.matchKey(sh, i) && !fn(sh, i) {
+					return false
+				}
+			}
+			continue
+		}
+		for i, n := 0, sh.rows(); i < n; i++ {
+			if !q.matchKey(sh, i) {
+				continue
+			}
+			sh.view(i, scratch)
+			if !q.pred(scratch) {
+				continue
+			}
+			if !fn(sh, i) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // Iter yields matching events store by store, each in (Start, Target)
-// order. The yielded pointers reference store-owned memory: they are
-// valid for reading until the store is mutated and must not be written
-// through.
+// order. The yielded *Event is a per-iteration scratch view materialized
+// from the shard columns: it is valid until the next yield (and its Ports
+// slice aliases store-owned memory, valid until the store is mutated).
+// Callers that retain events across iterations must copy them; use
+// GroupByTarget or Events for retained results.
 func (q *Query) Iter() iter.Seq[*Event] {
 	return func(yield func(*Event) bool) {
-		lo, hi := q.shardRange()
+		var scratch Event
 		for _, st := range q.stores {
 			if st == nil || st.length == 0 {
 				continue
 			}
-			st.ensureSorted()
-			if q.hasPrefix && q.prefixBits >= 32 {
-				st.ensureTargets()
-				for _, e := range st.targets[q.prefix] {
-					if q.match(e) && !yield(e) {
-						return
-					}
+			ok := q.forEachRow(st, &scratch, func(sh *shard, i int) bool {
+				if q.pred == nil {
+					sh.view(i, &scratch)
 				}
-				continue
-			}
-			for si := lo; si <= hi && si < len(st.shards); si++ {
-				sh := &st.shards[si]
-				if !q.shardMayMatch(sh) {
-					continue
-				}
-				for i := range sh.events {
-					e := &sh.events[i]
-					if q.match(e) && !yield(e) {
-						return
-					}
-				}
+				return yield(&scratch)
+			})
+			if !ok {
+				return
 			}
 		}
 	}
@@ -189,7 +255,9 @@ func (q *Query) Iter() iter.Seq[*Event] {
 // IterByStart yields matching events from all stores merged by start
 // time (ties favor the earlier store, then per-store order), the order
 // the fusion pipeline consumes for daily stamping. Shard alignment makes
-// this a per-day-range k-way merge instead of a global sort.
+// this a per-day-range k-way merge over the start columns instead of a
+// global sort; rows are materialized only after they win the merge. The
+// yielded *Event is scratch, valid until the next yield.
 func (q *Query) IterByStart() iter.Seq[*Event] {
 	return func(yield func(*Event) bool) {
 		lo, hi := q.shardRange()
@@ -199,9 +267,10 @@ func (q *Query) IterByStart() iter.Seq[*Event] {
 			}
 		}
 		type cursor struct {
-			evs []Event
-			i   int
+			sh   *shard
+			i, n int
 		}
+		var scratch Event
 		cursors := make([]cursor, len(q.stores))
 		for si := lo; si <= hi; si++ {
 			for k, st := range q.stores {
@@ -210,7 +279,7 @@ func (q *Query) IterByStart() iter.Seq[*Event] {
 					continue
 				}
 				if sh := &st.shards[si]; q.shardMayMatch(sh) {
-					cursors[k].evs = sh.events
+					cursors[k] = cursor{sh: sh, n: sh.rows()}
 				}
 			}
 			for {
@@ -218,10 +287,10 @@ func (q *Query) IterByStart() iter.Seq[*Event] {
 				var bestStart int64
 				for k := range cursors {
 					c := &cursors[k]
-					if c.i >= len(c.evs) {
+					if c.i >= c.n {
 						continue
 					}
-					if s := c.evs[c.i].Start; best < 0 || s < bestStart {
+					if s := c.sh.start[c.i]; best < 0 || s < bestStart {
 						best, bestStart = k, s
 					}
 				}
@@ -229,9 +298,16 @@ func (q *Query) IterByStart() iter.Seq[*Event] {
 					break
 				}
 				c := &cursors[best]
-				e := &c.evs[c.i]
+				i := c.i
 				c.i++
-				if q.match(e) && !yield(e) {
+				if !q.matchKey(c.sh, i) {
+					continue
+				}
+				c.sh.view(i, &scratch)
+				if q.pred != nil && !q.pred(&scratch) {
+					continue
+				}
+				if !yield(&scratch) {
 					return
 				}
 			}
@@ -248,12 +324,16 @@ func (q *Query) Events() []Event {
 	return out
 }
 
-// GroupByTarget collects matching events per target address. The slices
-// hold store-owned pointers, per target in Iter order.
+// GroupByTarget collects matching events per target address, per target
+// in Iter order. Each slice entry is a private copy (its Ports still
+// alias store arena memory), so the pointers stay stable and distinct
+// after the call, matching the pre-columnar contract.
 func (q *Query) GroupByTarget() map[netx.Addr][]*Event {
 	out := make(map[netx.Addr][]*Event)
 	for e := range q.Iter() {
-		out[e.Target] = append(out[e.Target], e)
+		ev := new(Event)
+		*ev = *e
+		out[ev.Target] = append(out[ev.Target], ev)
 	}
 	return out
 }
@@ -261,7 +341,8 @@ func (q *Query) GroupByTarget() map[netx.Addr][]*Event {
 // Count returns the number of matching events. Queries filtering only on
 // source, vector, and day range are answered from the per-day count index
 // without touching a single event; exact-target queries from the
-// by-target index.
+// by-target index. Everything else is a columnar scan over the hot
+// columns that materializes no events (unless a predicate forces it).
 func (q *Query) Count() int {
 	n := 0
 	for _, st := range q.stores {
@@ -279,23 +360,9 @@ func (q *Query) countStore(st *Store) int {
 			return n
 		}
 	}
-	if q.hasPrefix && q.prefixBits >= 32 && q.pred == nil {
-		st.ensureSorted()
-		st.ensureTargets()
-		n := 0
-		for _, e := range st.targets[q.prefix] {
-			if q.match(e) {
-				n++
-			}
-		}
-		return n
-	}
-	sub := *q
-	sub.stores = []*Store{st}
 	n := 0
-	for range sub.Iter() {
-		n++
-	}
+	var scratch Event
+	q.forEachRow(st, &scratch, func(*shard, int) bool { n++; return true })
 	return n
 }
 
@@ -354,8 +421,9 @@ func (q *Query) countViaIndex(st *Store, perVec *[NumVectors]int) (n int, ok boo
 }
 
 // CountByVector returns matching event counts per attack vector, answered
-// from the count index when the query has no prefix or predicate filter.
-// Events with out-of-range vector values are not counted.
+// from the count index when the query has no prefix or predicate filter
+// and from the key column otherwise. Events with out-of-range vector
+// values are not counted.
 func (q *Query) CountByVector() [NumVectors]int {
 	var out [NumVectors]int
 	for _, st := range q.stores {
@@ -367,20 +435,20 @@ func (q *Query) CountByVector() [NumVectors]int {
 				continue
 			}
 		}
-		sub := *q
-		sub.stores = []*Store{st}
-		for e := range sub.Iter() {
-			if int(e.Vector) < NumVectors {
-				out[e.Vector]++
+		var scratch Event
+		q.forEachRow(st, &scratch, func(sh *shard, i int) bool {
+			if vec := int(sh.key[i] & 0xff); vec < NumVectors {
+				out[vec]++
 			}
-		}
+			return true
+		})
 	}
 	return out
 }
 
 // CountByDay returns matching in-window event counts per start day
 // (length WindowDays), answered from the count index when the query has
-// no prefix or predicate filter.
+// no prefix or predicate filter and from the start column otherwise.
 func (q *Query) CountByDay() []int {
 	out := make([]int, WindowDays)
 	dlo, dhi := 0, WindowDays-1
@@ -413,13 +481,13 @@ func (q *Query) CountByDay() []int {
 				continue
 			}
 		}
-		sub := *q
-		sub.stores = []*Store{st}
-		for e := range sub.Iter() {
-			if d := e.Day(); d >= 0 && d < WindowDays {
+		var scratch Event
+		q.forEachRow(st, &scratch, func(sh *shard, i int) bool {
+			if d := DayOf(sh.start[i]); d >= 0 && d < WindowDays {
 				out[d]++
 			}
-		}
+			return true
+		})
 	}
 	return out
 }
@@ -430,6 +498,10 @@ func (q *Query) CountByDay() []int {
 // Iter order; partials are merged in ascending shard order, so the result
 // is deterministic for any GOMAXPROCS as long as acc is order-independent
 // across shards or merge is associative in shard order.
+//
+// The *Event passed to acc is a per-task scratch view, valid only for the
+// duration of that acc call; accumulators that retain events must copy
+// them.
 //
 // Because every store shards by day-of-window, a task sees all events of
 // its day range across all stores: per-day aggregations (daily counts,
@@ -457,6 +529,7 @@ func Fold[T any](q *Query, init func() T, acc func(T, *Event) T, merge func(T, T
 	foldShard := func(ti int) {
 		si := tasks[ti]
 		val := init()
+		var scratch Event
 		for _, st := range q.stores {
 			if st == nil || si >= len(st.shards) {
 				continue
@@ -465,11 +538,15 @@ func Fold[T any](q *Query, init func() T, acc func(T, *Event) T, merge func(T, T
 			if !q.shardMayMatch(sh) {
 				continue
 			}
-			for i := range sh.events {
-				e := &sh.events[i]
-				if q.match(e) {
-					val = acc(val, e)
+			for i, n := 0, sh.rows(); i < n; i++ {
+				if !q.matchKey(sh, i) {
+					continue
 				}
+				sh.view(i, &scratch)
+				if q.pred != nil && !q.pred(&scratch) {
+					continue
+				}
+				val = acc(val, &scratch)
 			}
 		}
 		partials[ti] = val

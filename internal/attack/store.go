@@ -6,7 +6,6 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
-	"sort"
 	"strconv"
 	"strings"
 
@@ -34,38 +33,6 @@ func shardOf(start int64) int {
 	return d / shardDays
 }
 
-// shard is one day-range bucket: an independently sorted run plus
-// per-(source, vector) counts that let queries prune or count it without
-// scanning. unindexed counts events whose Source or Vector fall outside
-// the enum ranges (possible only through Add with hand-built events);
-// a nonzero value disables the count fast paths for the shard.
-type shard struct {
-	events    []Event
-	sorted    bool
-	counts    [2][NumVectors]int
-	unindexed int
-}
-
-func (sh *shard) sortAndCount() {
-	sort.SliceStable(sh.events, func(i, j int) bool {
-		if sh.events[i].Start != sh.events[j].Start {
-			return sh.events[i].Start < sh.events[j].Start
-		}
-		return sh.events[i].Target < sh.events[j].Target
-	})
-	sh.counts = [2][NumVectors]int{}
-	sh.unindexed = 0
-	for i := range sh.events {
-		e := &sh.events[i]
-		if int(e.Source) < 2 && int(e.Vector) < NumVectors {
-			sh.counts[e.Source][e.Vector]++
-		} else {
-			sh.unindexed++
-		}
-	}
-	sh.sorted = true
-}
-
 // countsIndex is the store-level per-day rollup: in-window events counted
 // by (day, source, vector), out-of-window events by (source, vector).
 type countsIndex struct {
@@ -75,30 +42,39 @@ type countsIndex struct {
 	unindexed int
 }
 
-// Store holds attack events sharded by day-of-window. Shards keep
-// independently sorted runs; by-target and per-day count indexes are built
-// lazily on first use and invalidated by Add. Access events through
-// Query; the Events slice contract is retained only as a deprecated
-// compatibility shim.
+// rowRef addresses one event as a (shard, row) handle. References stay
+// valid until the next Add (which re-sorts the shard's rows).
+type rowRef struct {
+	shard int32
+	row   int32
+}
+
+// Store holds attack events sharded by day-of-window. Each shard keeps
+// its events in a columnar struct-of-arrays layout (see shard) so filter
+// and count scans touch only the columns they read. The by-target and
+// per-day count indexes are built lazily on first use and invalidated by
+// Add. Access events through Query; the Events slice contract is retained
+// only as a deprecated compatibility shim.
 //
 // A Store is not safe for concurrent use without external synchronization:
 // even read paths may build lazy indexes. Fold parallelizes internally
 // after sealing the lazy state and is safe on its own.
 type Store struct {
-	shards []shard
-	length int
+	shards  []shard
+	length  int
+	version uint64
 
 	// lazily built, invalidated by Add
 	flat    []Event // Events() compatibility cache
 	counts  *countsIndex
-	targets map[netx.Addr][]*Event
+	targets map[netx.Addr][]rowRef
 }
 
 // NewStore builds a store from events (which it copies).
 func NewStore(events []Event) *Store {
 	s := &Store{}
-	for _, e := range events {
-		s.Add(e)
+	for i := range events {
+		s.Add(events[i])
 	}
 	return s
 }
@@ -108,23 +84,32 @@ func (s *Store) Add(e Event) {
 	if s.shards == nil {
 		s.shards = make([]shard, numShards)
 	}
-	sh := &s.shards[shardOf(e.Start)]
-	sh.events = append(sh.events, e)
-	sh.sorted = false
+	s.shards[shardOf(e.Start)].appendRow(&e)
 	s.length++
+	s.version++
 	s.flat, s.counts, s.targets = nil, nil, nil
 }
 
-// ensureSorted sorts any dirty shard (and refreshes its counts).
+// Version counts mutations: it increments on every Add. Consumers caching
+// results derived from a store can compare versions to detect staleness
+// instead of invalidating on every call.
+func (s *Store) Version() uint64 { return s.version }
+
+// ensureSorted sorts any dirty shard (and refreshes its counts). Shards
+// opened from a segment arrive sorted but uncounted; they get a single
+// cheap pass over the key column on first use.
 func (s *Store) ensureSorted() {
 	for i := range s.shards {
-		if !s.shards[i].sorted {
-			s.shards[i].sortAndCount()
+		sh := &s.shards[i]
+		if !sh.sorted {
+			sh.sortAndCount()
+		} else if !sh.counted {
+			sh.countRows()
 		}
 	}
 }
 
-// ensureCounts builds the per-day count index.
+// ensureCounts builds the per-day count index from the hot columns.
 func (s *Store) ensureCounts() {
 	if s.counts != nil {
 		return
@@ -134,15 +119,15 @@ func (s *Store) ensureCounts() {
 	for si := range s.shards {
 		sh := &s.shards[si]
 		c.unindexed += sh.unindexed
-		for i := range sh.events {
-			e := &sh.events[i]
-			if int(e.Source) >= 2 || int(e.Vector) >= NumVectors {
+		for i, k := range sh.key {
+			src, vec := int(k>>8), int(k&0xff)
+			if src >= 2 || vec >= NumVectors {
 				continue
 			}
-			if d := e.Day(); d >= 0 && d < WindowDays {
-				c.day[d][e.Source][e.Vector]++
+			if d := DayOf(sh.start[i]); d >= 0 && d < WindowDays {
+				c.day[d][src][vec]++
 			} else {
-				c.out[e.Source][e.Vector]++
+				c.out[src][vec]++
 				c.outTotal++
 			}
 		}
@@ -150,25 +135,25 @@ func (s *Store) ensureCounts() {
 	s.counts = c
 }
 
-// ensureTargets builds the by-target index. The indexed pointers stay
-// valid until the next Add.
+// ensureTargets builds the by-target index of (shard, row) handles. The
+// handles stay valid until the next Add.
 func (s *Store) ensureTargets() {
 	if s.targets != nil {
 		return
 	}
 	s.ensureSorted()
-	m := make(map[netx.Addr][]*Event, s.length/2+1)
+	m := make(map[netx.Addr][]rowRef, s.length/2+1)
 	for si := range s.shards {
 		sh := &s.shards[si]
-		for i := range sh.events {
-			e := &sh.events[i]
-			m[e.Target] = append(m[e.Target], e)
+		for i, t := range sh.target {
+			m[t] = append(m[t], rowRef{int32(si), int32(i)})
 		}
 	}
 	s.targets = m
 }
 
-// Events returns all events sorted by (Start, Target).
+// Events returns all events sorted by (Start, Target). The returned
+// events' Ports slices alias store-owned arena memory.
 //
 // Deprecated: Events materializes a full copy of the store on first call
 // after a mutation; use Query with Iter, Count or Fold instead, which
@@ -179,7 +164,12 @@ func (s *Store) Events() []Event {
 		s.ensureSorted()
 		flat := make([]Event, 0, s.length)
 		for i := range s.shards {
-			flat = append(flat, s.shards[i].events...)
+			sh := &s.shards[i]
+			for r := 0; r < sh.rows(); r++ {
+				var e Event
+				sh.view(r, &e)
+				flat = append(flat, e)
+			}
 		}
 		s.flat = flat
 	}
@@ -191,7 +181,7 @@ func (s *Store) Len() int { return s.length }
 
 // ByTarget groups event indices (into Events()) by target address.
 //
-// Deprecated: use Query().GroupByTarget, which returns event pointers
+// Deprecated: use Query().GroupByTarget, which returns event copies
 // without materializing the flat slice.
 func (s *Store) ByTarget() map[netx.Addr][]int {
 	evs := s.Events()
@@ -204,16 +194,15 @@ func (s *Store) ByTarget() map[netx.Addr][]int {
 
 // UniqueTargets returns the number of distinct target addresses. It
 // reuses the by-target index when already built but does not force it:
-// counting needs only an address set, not per-event pointer slices.
+// counting needs only the target column, not per-event handle slices.
 func (s *Store) UniqueTargets() int {
 	if s.targets != nil {
 		return len(s.targets)
 	}
 	seen := make(map[netx.Addr]struct{}, s.length/2+1)
 	for si := range s.shards {
-		sh := &s.shards[si]
-		for i := range sh.events {
-			seen[sh.events[i].Target] = struct{}{}
+		for _, t := range s.shards[si].target {
+			seen[t] = struct{}{}
 		}
 	}
 	return len(seen)
@@ -223,9 +212,8 @@ func (s *Store) UniqueTargets() int {
 func (s *Store) UniqueBlocks(maskBits int) int {
 	seen := make(map[netx.Addr]struct{}, s.length)
 	for si := range s.shards {
-		sh := &s.shards[si]
-		for i := range sh.events {
-			seen[sh.events[i].Target.Mask(maskBits)] = struct{}{}
+		for _, t := range s.shards[si].target {
+			seen[t.Mask(maskBits)] = struct{}{}
 		}
 	}
 	return len(seen)
@@ -344,13 +332,17 @@ func ReadCSV(r io.Reader) (*Store, error) {
 	return s, nil
 }
 
-// --- binary persistence ----------------------------------------------
+// --- binary persistence (DOSEVT01, record-oriented) -------------------
 
 const binMagic = "DOSEVT01"
 
-// WriteBinary writes a compact fixed-record binary encoding, roughly 5x
-// smaller and 20x faster to load than CSV; the doscope CLI uses it to
-// cache generated scenarios.
+// maxEvents bounds the event counts a codec will accept from a header.
+const maxEvents = 1 << 30
+
+// WriteBinary writes the compact fixed-record DOSEVT01 encoding, roughly
+// 5x smaller and 20x faster to load than CSV. For bulk captures prefer
+// WriteSegment (DOSEVT02), whose column-oriented layout a reader can mmap
+// and serve without decoding.
 func (s *Store) WriteBinary(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(binMagic); err != nil {
@@ -403,11 +395,11 @@ func ReadBinary(r io.Reader) (*Store, error) {
 		return nil, err
 	}
 	n := binary.LittleEndian.Uint64(scratch[:])
-	const maxEvents = 1 << 30
 	if n > maxEvents {
 		return nil, fmt.Errorf("attack: implausible event count %d", n)
 	}
 	s := &Store{}
+	var portBuf [2 * 255]byte // record port count is one byte
 	for i := uint64(0); i < n; i++ {
 		var rec [56]byte
 		if _, err := io.ReadFull(br, rec[:]); err != nil {
@@ -430,14 +422,16 @@ func ReadBinary(r io.Reader) (*Store, error) {
 			MaxPPS:  floatFromBits(binary.LittleEndian.Uint64(rec[40:48])),
 			AvgRPS:  floatFromBits(binary.LittleEndian.Uint64(rec[48:56])),
 		}
-		nPorts := int(rec[2])
-		if nPorts > 0 {
+		if nPorts := int(rec[2]); nPorts > 0 {
+			// One sized read for the whole port list instead of one
+			// 2-byte read per port.
+			pb := portBuf[:2*nPorts]
+			if _, err := io.ReadFull(br, pb); err != nil {
+				return nil, fmt.Errorf("attack: record %d: ports: %w", i, err)
+			}
 			e.Ports = make([]uint16, nPorts)
-			for j := 0; j < nPorts; j++ {
-				if _, err := io.ReadFull(br, scratch[:2]); err != nil {
-					return nil, err
-				}
-				e.Ports[j] = binary.LittleEndian.Uint16(scratch[:2])
+			for j := range e.Ports {
+				e.Ports[j] = binary.LittleEndian.Uint16(pb[2*j:])
 			}
 		}
 		s.Add(e)

@@ -31,8 +31,15 @@ type Dataset struct {
 	// MailIdx, when set, enables the §8 mail-infrastructure analysis.
 	MailIdx MailIndex
 
-	// lazily computed caches
+	// lazily computed caches, memoized behind the attack stores' version
+	// counters: refreshCaches drops them when either store has been
+	// mutated (Store.Version counts Adds) since they were built, so
+	// chained analyses (Figure5/Figure6/Figure7 in one run) reuse the
+	// web join and intensity stats while live ingest stays correct.
 	rev        *openintel.ReverseIndex
+	telVer     uint64
+	hpVer      uint64
+	versioned  bool
 	statsDone  bool
 	telPct     []float64 // sorted telescope intensities
 	hpPct      []float64 // sorted honeypot intensities
@@ -40,6 +47,30 @@ type Dataset struct {
 	hpMean     float64
 	join       *webJoin
 	migrations *migrationStudy
+}
+
+// storeVersion reads a store's mutation counter, tolerating nil stores.
+func storeVersion(s *attack.Store) uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.Version()
+}
+
+// refreshCaches invalidates every store-derived cache if either attack
+// store changed since the caches were built. Analyses call it before
+// consulting a memoized intermediate.
+func (ds *Dataset) refreshCaches() {
+	tv, hv := storeVersion(ds.Telescope), storeVersion(ds.Honeypot)
+	if ds.versioned && tv == ds.telVer && hv == ds.hpVer {
+		return
+	}
+	ds.versioned, ds.telVer, ds.hpVer = true, tv, hv
+	ds.statsDone = false
+	ds.telPct, ds.hpPct = nil, nil
+	ds.telMean, ds.hpMean = 0, 0
+	ds.join = nil
+	ds.migrations = nil
 }
 
 // New creates a Dataset.
@@ -74,6 +105,7 @@ func (ds *Dataset) source(src attack.Source) *attack.Store {
 // called before any parallel fold whose accumulator consults
 // IntensityPercentile or MediumPlus.
 func (ds *Dataset) intensityStats() {
+	ds.refreshCaches()
 	if ds.statsDone {
 		return
 	}

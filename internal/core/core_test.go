@@ -547,3 +547,35 @@ func TestMailImpact(t *testing.T) {
 		t.Error("mail impact without index should be empty")
 	}
 }
+
+// TestWebJoinMemoizedPerStoreVersion checks the version-counter memo:
+// chained analyses share one web join, and an Add to either attack store
+// invalidates it (and the intensity stats) on the next call.
+func TestWebJoinMemoizedPerStoreVersion(t *testing.T) {
+	sc, err := dossim.Generate(dossim.Config{Seed: 5, Scale: 0.0003})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := New(sc.Telescope, sc.Honeypot, sc.Plan, sc.History, sc.Cfg.WindowDays)
+
+	j1 := ds.webJoinResult()
+	ds.Figure6()
+	ds.Figure7()
+	if ds.webJoinResult() != j1 {
+		t.Fatal("chained figures recomputed the web join without a store mutation")
+	}
+
+	ds.Honeypot.Add(attack.Event{
+		Source: attack.SourceHoneypot, Vector: attack.VectorNTP,
+		Target: sc.Honeypot.Events()[0].Target,
+		Start:  attack.WindowStart + 3600, End: attack.WindowStart + 7200,
+		AvgRPS: 1,
+	})
+	j2 := ds.webJoinResult()
+	if j2 == j1 {
+		t.Fatal("web join not recomputed after Store.Add bumped the version")
+	}
+	if ds.webJoinResult() != j2 {
+		t.Fatal("web join recomputed again without a further mutation")
+	}
+}

@@ -1,7 +1,8 @@
 package core
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"doscope/internal/attack"
 	"doscope/internal/netx"
@@ -249,7 +250,12 @@ func (ds *Dataset) Figure7() Figure7Result {
 	for d, v := range j.dailyAll.Values {
 		peaks = append(peaks, peak{d, v})
 	}
-	sort.Slice(peaks, func(a, b int) bool { return peaks[a].v > peaks[b].v })
+	slices.SortFunc(peaks, func(a, b peak) int {
+		if c := cmp.Compare(b.v, a.v); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.day, b.day) // deterministic tie-break
+	})
 	for i := 0; i < 4 && i < len(peaks); i++ {
 		res.PeakDays = append(res.PeakDays, peaks[i].day)
 		res.PeakValues = append(res.PeakValues, peaks[i].v)

@@ -44,6 +44,7 @@ type migrationStudy struct {
 }
 
 func (ds *Dataset) migrationResult() *migrationStudy {
+	ds.refreshCaches()
 	if ds.migrations != nil {
 		return ds.migrations
 	}

@@ -31,8 +31,11 @@ type webJoin struct {
 	aliveSites int
 }
 
-// webJoinResult computes (once) the attack x DNS join.
+// webJoinResult computes the attack x DNS join once per store version:
+// Figure5/Figure6/Figure7 chained in one run share the result, and an
+// Add to either attack store (which bumps Store.Version) invalidates it.
 func (ds *Dataset) webJoinResult() *webJoin {
+	ds.refreshCaches()
 	if ds.join != nil {
 		return ds.join
 	}

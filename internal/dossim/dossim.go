@@ -54,6 +54,14 @@ type Config struct {
 	// directly. Quadratically more expensive; intended for Scale <= 1e-5
 	// equivalents (tests, examples).
 	PacketLevel bool
+	// Telescope and Honeypot, when both non-nil, are used as the
+	// measured attack data sets directly (e.g. stores mmap'd from a
+	// DOSEVT02 segment cache): attack planning and event synthesis are
+	// skipped entirely and Scenario.Planned stays nil, while the Web
+	// model (exposures, migrations, History) is still derived from the
+	// provided events.
+	Telescope *attack.Store
+	Honeypot  *attack.Store
 	// Telescope darknet used by both paths.
 	Darknet netx.Prefix
 }
@@ -143,16 +151,21 @@ func Generate(cfg Config) (*Scenario, error) {
 		return nil, fmt.Errorf("dossim: building mail model: %w", err)
 	}
 	sc := &Scenario{Cfg: cfg, Plan: plan, Web: web}
-	sc.Planned = planAttacks(rng, cfg, plan, web)
-
-	if cfg.PacketLevel {
-		tel, hp, err := runPacketLevel(cfg, sc.Planned)
-		if err != nil {
-			return nil, err
-		}
-		sc.Telescope, sc.Honeypot = tel, hp
+	if cfg.Telescope != nil && cfg.Honeypot != nil {
+		// Pre-captured stores: skip planning and synthesis, the
+		// dominant cost the segment cache exists to avoid.
+		sc.Telescope, sc.Honeypot = cfg.Telescope, cfg.Honeypot
 	} else {
-		sc.Telescope, sc.Honeypot = eventsFromPlan(cfg, sc.Planned)
+		sc.Planned = planAttacks(rng, cfg, plan, web)
+		if cfg.PacketLevel {
+			tel, hp, err := runPacketLevel(cfg, sc.Planned)
+			if err != nil {
+				return nil, err
+			}
+			sc.Telescope, sc.Honeypot = tel, hp
+		} else {
+			sc.Telescope, sc.Honeypot = eventsFromPlan(cfg, sc.Planned)
+		}
 	}
 
 	sc.Exposures = computeExposures(sc)

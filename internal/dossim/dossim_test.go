@@ -512,3 +512,32 @@ func TestPacketLevelMatchesEventLevel(t *testing.T) {
 		t.Errorf("packet-level TCP share = %.3f", got)
 	}
 }
+
+// TestGenerateWithInjectedStores checks the segment-cache path: Generate
+// with pre-captured stores must skip attack planning, use the stores
+// as-is, and still derive the Web model from their events.
+func TestGenerateWithInjectedStores(t *testing.T) {
+	base, err := Generate(Config{Seed: 3, Scale: 0.0002})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := Generate(Config{
+		Seed: 3, Scale: 0.0002,
+		Telescope: base.Telescope, Honeypot: base.Honeypot,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Telescope != base.Telescope || sc.Honeypot != base.Honeypot {
+		t.Fatal("injected stores were not used as-is")
+	}
+	if sc.Planned != nil {
+		t.Fatal("attack planning ran despite injected stores")
+	}
+	if sc.History == nil || sc.History.NumDomains() == 0 {
+		t.Fatal("Web history not derived for injected stores")
+	}
+	if len(sc.Exposures) != len(base.Exposures) {
+		t.Fatalf("exposures differ: %d vs %d", len(sc.Exposures), len(base.Exposures))
+	}
+}
