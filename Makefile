@@ -8,9 +8,9 @@ GO        ?= go
 # recording BENCH_<n>.json numbers meant for comparison.
 BENCHTIME ?= 1x
 # The benchmark families whose ns/op the perf-trajectory record tracks.
-BENCH_RECORD ?= BenchmarkAgg|BenchmarkColumnarScan|BenchmarkSegmentOpen
+BENCH_RECORD ?= BenchmarkAgg|BenchmarkColumnarScan|BenchmarkSegmentOpen|BenchmarkLiveIngest
 
-.PHONY: build vet test bench clean
+.PHONY: build vet test race bench clean
 
 build:
 	$(GO) build ./...
@@ -21,11 +21,17 @@ vet:
 test:
 	$(GO) test ./...
 
+# race runs the suite under the race detector; the amppot live-flush
+# path and attack.Fold are the concurrent surfaces it guards.
+race:
+	$(GO) test -race ./...
+
 # bench runs every benchmark in the module once as a smoke check and
-# records the query/columnar/segment suites' ns/op into BENCH_2.json.
+# records the query/columnar/segment/live-ingest suites' ns/op into
+# BENCH_3.json.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) ./... | tee bench.out
-	$(GO) run ./cmd/benchjson -match '$(BENCH_RECORD)' < bench.out > BENCH_2.json
+	$(GO) run ./cmd/benchjson -match '$(BENCH_RECORD)' < bench.out > BENCH_3.json
 	rm -f bench.out
 
 clean:

@@ -6,7 +6,15 @@
 // Usage:
 //
 //	amppot [-listen 127.0.0.1] [-protocols NTP,DNS,CharGen] [-base-port 0]
-//	       [-duration 0] [-min-requests 100] [-out file]
+//	       [-duration 0] [-min-requests 100] [-gap 1h] [-flush 30s]
+//	       [-out file]
+//
+// Extraction is live: every -flush interval the fleet drains completed
+// attack events into the capture store and a status line with
+// index-served per-vector counts goes to stderr — the store absorbs
+// each batch as pending-tail appends plus index deltas, so querying it
+// between flushes never re-sorts or recounts the capture. -flush 0
+// disables the live path and extracts everything once at shutdown.
 //
 // -out selects the capture sink by extension: .seg writes the mmap-able
 // DOSEVT02 segment format, .bin the DOSEVT01 record stream, anything
@@ -24,6 +32,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -33,17 +42,20 @@ import (
 
 func main() {
 	var (
-		listen   = flag.String("listen", "127.0.0.1", "address to bind")
-		protos   = flag.String("protocols", "NTP,DNS,CharGen,SSDP,RIPv1,QOTD,MSSQL,TFTP", "comma-separated protocol list")
-		basePort = flag.Int("base-port", 0, "0 = well-known ports; otherwise base for sequential ports")
-		duration = flag.Duration("duration", 0, "stop after this long (0 = until SIGINT)")
-		minReq   = flag.Uint64("min-requests", 100, "attack event threshold (requests)")
-		out      = flag.String("out", "", "write events to this file instead of stdout CSV (.seg = DOSEVT02 segment, .bin = DOSEVT01, otherwise CSV)")
+		listen     = flag.String("listen", "127.0.0.1", "address to bind")
+		protos     = flag.String("protocols", "NTP,DNS,CharGen,SSDP,RIPv1,QOTD,MSSQL,TFTP", "comma-separated protocol list")
+		basePort   = flag.Int("base-port", 0, "0 = well-known ports; otherwise base for sequential ports")
+		duration   = flag.Duration("duration", 0, "stop after this long (0 = until SIGINT)")
+		minReq     = flag.Uint64("min-requests", 100, "attack event threshold (requests)")
+		gap        = flag.Duration("gap", time.Hour, "idle gap splitting request streams into separate events")
+		flushEvery = flag.Duration("flush", 30*time.Second, "drain completed events into the live store this often (0 = only at shutdown)")
+		out        = flag.String("out", "", "write events to this file instead of stdout CSV (.seg = DOSEVT02 segment, .bin = DOSEVT01, otherwise CSV)")
 	)
 	flag.Parse()
 
 	cfg := amppot.DefaultConfig()
 	cfg.MinRequests = *minReq
+	cfg.GapTimeout = int64(*gap / time.Second)
 	fleet := amppot.NewFleet(cfg)
 
 	var conns []net.PacketConn
@@ -78,6 +90,44 @@ func main() {
 		fatal(fmt.Errorf("no protocols to serve"))
 	}
 
+	// The live capture store: the flush ticker drains completed events
+	// into it while it stays queryable — each drain is one AddBatch
+	// (pending-tail appends + per-shard seal deltas), and the status
+	// line's counts come straight from the delta-maintained indexes.
+	// The mutex serializes the drain goroutine against shutdown.
+	var (
+		storeMu sync.Mutex
+		store   = &attack.Store{}
+	)
+	done := make(chan struct{})
+	var flushWG sync.WaitGroup
+	if *flushEvery > 0 {
+		flushWG.Add(1)
+		go func() {
+			defer flushWG.Done()
+			tick := time.NewTicker(*flushEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-done:
+					return
+				case <-tick.C:
+					storeMu.Lock()
+					n := fleet.DrainTo(store, time.Now().Unix())
+					if n == 0 {
+						storeMu.Unlock()
+						continue
+					}
+					total := store.Len()
+					counts := store.Query().CountByVector()
+					storeMu.Unlock()
+					fmt.Fprintf(os.Stderr, "amppot: live flush: +%d events (total %d, %s)\n",
+						n, total, vectorSummary(counts))
+				}
+			}
+		}()
+	}
+
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	if *duration > 0 {
@@ -91,7 +141,10 @@ func main() {
 	for _, c := range conns {
 		c.Close()
 	}
-	store := fleet.FlushStore()
+	close(done)
+	flushWG.Wait()
+
+	fleet.FlushTo(store)
 	fmt.Fprintf(os.Stderr, "amppot: %d attack events\n", store.Len())
 	counts := store.Query().CountByVector()
 	for v := attack.VectorNTP; int(v) < attack.NumVectors; v++ {
@@ -102,6 +155,25 @@ func main() {
 	if err := write(store, *out); err != nil {
 		fatal(err)
 	}
+}
+
+// vectorSummary formats nonzero reflection-vector counts for the live
+// status line.
+func vectorSummary(counts [attack.NumVectors]int) string {
+	var b strings.Builder
+	for v := attack.VectorNTP; int(v) < attack.NumVectors; v++ {
+		if counts[v] == 0 {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %d", v, counts[v])
+	}
+	if b.Len() == 0 {
+		return "no vectors"
+	}
+	return b.String()
 }
 
 // write sinks the extracted events: to stdout as CSV, or to a file in

@@ -29,7 +29,24 @@
 // aggregation that fans out one task per day-range shard and merges
 // partials deterministically. Every table/figure method in internal/core
 // is built on these primitives; Store.Events remains only as a deprecated
-// compatibility shim.
+// compatibility shim (returning a fresh defensive copy per call).
+//
+// # Live ingest: pending tails, sealing, and index deltas
+//
+// Mutation cost is proportional to the delta, not the store. Add parks
+// the event in its shard's small unsorted pending tail (O(1), nothing
+// invalidated); counting terminals answer sealed rows from the lazy
+// per-day count and by-target indexes and fold in the pending tails by
+// bounded linear scan. Sealing — automatic at a small tail threshold,
+// per touched shard after an AddBatch, or lazily when a terminal needs
+// sorted order — stable-sorts just the tail, sorted-merges it into the
+// shard's order index, and applies index deltas for the newly sealed
+// rows only. Physical rows never move, so the by-target index's
+// (shard, row) handles stay valid for the life of the store, and a
+// from-scratch index rebuild happens at most once per store lifetime.
+// Store.AddBatch is the amortized flush path the amppot live pipeline
+// uses (Fleet.DrainTo drains completed events into a queried store on
+// a ticker; see cmd/amppot -flush).
 //
 // # Columnar layout and the scratch-Event contract
 //
@@ -40,9 +57,11 @@
 // per-shard arena addressed by (offset, length). Iter, IterByStart and
 // Fold yield a per-iteration scratch *Event materialized from the
 // columns: it is valid until the next yield, and its Ports slice aliases
-// store-owned memory valid until the store is mutated. Callers that
-// retain events across iterations must copy them (GroupByTarget and
-// Events return stable copies).
+// store-owned memory. Under live ingest that aliasing is still safe —
+// appends never move arena entries — but the scratch event itself is
+// only valid until the next yield, so callers that retain events across
+// iterations must copy them (GroupByTarget and Events return stable
+// copies).
 //
 // # On-disk formats
 //

@@ -3,6 +3,7 @@ package amppot
 import (
 	"encoding/binary"
 	"net"
+	"sync"
 	"testing"
 	"time"
 
@@ -347,5 +348,70 @@ func TestLiveUDPHoneypot(t *testing.T) {
 	f.mu.Unlock()
 	if open != 1 {
 		t.Errorf("open flows after live request = %d, want 1", open)
+	}
+}
+
+// TestFleetLiveDrainConcurrent drives requests from many goroutines
+// while a drainer periodically moves completed events into a live
+// attack.Store and queries it between drains — the cmd/amppot -flush
+// topology. Run under -race this exercises the fleet/collector locking
+// against the external store lock.
+func TestFleetLiveDrainConcurrent(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MinRequests = 1
+	fleet := NewFleet(cfg)
+
+	const workers = 8
+	const requests = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// One victim per worker keeps each flow's observations in
+			// non-decreasing time order, as the Collector requires.
+			v := netx.AddrFrom4(203, 0, 113, byte(100+w))
+			req := ntpMonlist()
+			for i := 0; i < requests; i++ {
+				fleet.HandleRequest(w, attack.WindowStart+int64(i), v, attack.VectorNTP, req)
+			}
+		}(w)
+	}
+
+	var storeMu sync.Mutex
+	store := &attack.Store{}
+	done := make(chan struct{})
+	var drainWG sync.WaitGroup
+	drainWG.Add(1)
+	go func() {
+		defer drainWG.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			storeMu.Lock()
+			fleet.DrainTo(store, attack.WindowStart+requests)
+			store.Query().Vectors(attack.VectorNTP).Count()
+			storeMu.Unlock()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	wg.Wait()
+	close(done)
+	drainWG.Wait()
+
+	fleet.FlushTo(store)
+	if got := store.Len(); got != workers {
+		t.Fatalf("live drain extracted %d events, want %d (one flow per victim)", got, workers)
+	}
+	var packets uint64
+	for e := range store.Query().Iter() {
+		packets += e.Packets
+	}
+	if want := uint64(workers * requests); packets != want {
+		t.Fatalf("events carry %d requests, want %d", packets, want)
 	}
 }

@@ -101,6 +101,16 @@ func (c *Collector) Flush() {
 	}
 }
 
+// Drain returns the events extracted since the last Drain (in closing
+// order, not sorted) and resets the buffer. The live pipeline pairs it
+// with CloseIdle or Flush and feeds the result to attack.Store.AddBatch,
+// which does not care about order.
+func (c *Collector) Drain() []attack.Event {
+	evs := c.events
+	c.events = nil
+	return evs
+}
+
 // Events returns extracted events sorted by start time.
 func (c *Collector) Events() []attack.Event {
 	sort.SliceStable(c.events, func(i, j int) bool {

@@ -76,8 +76,41 @@ func (f *Fleet) Events() []attack.Event {
 	return f.collector.Events()
 }
 
+// DrainTo closes flows idle as of now and appends every event extracted
+// since the last drain to st in one AddBatch: the store absorbs the
+// flush as pending-tail appends plus at most one seal per touched
+// shard, and keeps answering queries from its delta-maintained indexes.
+// It returns the number of events appended.
+//
+// DrainTo serializes against the fleet's collector internally, but the
+// store is the caller's: callers that query st from other goroutines
+// must guard it with their own lock (attack.Store is not safe for
+// concurrent use).
+func (f *Fleet) DrainTo(st *attack.Store, now int64) int {
+	f.mu.Lock()
+	f.collector.CloseIdle(now)
+	evs := f.collector.Drain()
+	f.mu.Unlock()
+	st.AddBatch(evs)
+	return len(evs)
+}
+
+// FlushTo closes ALL open flows (ending the capture) and appends the
+// remaining extracted events to st, returning how many were appended.
+// The terminal counterpart of DrainTo.
+func (f *Fleet) FlushTo(st *attack.Store) int {
+	f.mu.Lock()
+	f.collector.Flush()
+	evs := f.collector.Drain()
+	f.mu.Unlock()
+	st.AddBatch(evs)
+	return len(evs)
+}
+
 // FlushStore closes open flows and returns all extracted events as an
 // indexed attack.Store, the form the fusion pipeline and CLIs query.
 func (f *Fleet) FlushStore() *attack.Store {
-	return attack.NewStore(f.Flush())
+	st := &attack.Store{}
+	f.FlushTo(st)
+	return st
 }

@@ -16,9 +16,24 @@ import (
 // view. Port lists live in one shared per-shard arena referenced by
 // (offset, length), so ingest performs no per-event allocation.
 //
-// All columns are parallel: row i of every column describes event i. A
-// shard opened from a DOSEVT02 segment aliases read-only (mmap'd) memory
-// and is marked frozen; appendRow copies it out before mutating.
+// All columns are parallel: row i of every column describes event i.
+// Physical rows are append-only and NEVER move: (shard, row) handles
+// handed out by the by-target index stay valid for the life of the
+// store. Sorted-order iteration goes through the ord permutation
+// instead of permuting the columns.
+//
+// Rows are split into a sealed body and a pending tail:
+//
+//   - rows [0, sealed) are the body; ord (when non-nil, len == sealed)
+//     lists them in (start, target) order. ord == nil means the body is
+//     physically in (start, target) order already (the common case for
+//     time-ordered ingest and for segment-backed shards).
+//   - rows [sealed, rows()) are the pending tail, in arrival order.
+//     Appends park here; queries that do not need sorted order scan the
+//     tail linearly, and seal merges it into the body ordering.
+//
+// A shard opened from a DOSEVT02 segment aliases read-only (mmap'd)
+// memory and is marked frozen; appendRow copies it out before mutating.
 type shard struct {
 	// Hot filter columns.
 	start  []int64
@@ -37,16 +52,22 @@ type shard struct {
 	portLen []uint16
 	arena   []uint16
 
-	sorted  bool // rows are in (start, target) order
-	counted bool // counts/unindexed reflect the current rows
-	frozen  bool // columns alias read-only segment memory
+	// ord lists the sealed body rows in (start, target) order; nil means
+	// physical order is already sorted. len(ord) == sealed when non-nil.
+	ord    []int32
+	sealed int  // rows [0, sealed) are ordered by ord; the rest are tail
+	frozen bool // columns alias read-only segment memory
 
 	// Per-(source, vector) counts let queries prune or count the shard
-	// without scanning. unindexed counts events whose Source or Vector
-	// fall outside the enum ranges (possible only through Add with
-	// hand-built events); a nonzero value disables the count fast paths.
+	// without scanning. They cover ALL rows including the pending tail:
+	// appendRow maintains them incrementally once counted is set (a
+	// frozen segment shard gets one countRows pass on first use).
+	// unindexed counts events whose Source or Vector fall outside the
+	// enum ranges (possible only through Add with hand-built events); a
+	// nonzero value disables the count fast paths.
 	counts    [2][NumVectors]int
 	unindexed int
+	counted   bool // counts/unindexed reflect the current rows
 }
 
 // packKey packs an event's sensor and vector into the hot key column.
@@ -56,6 +77,17 @@ func packKey(src Source, vec Vector) uint16 {
 
 // rows returns the number of events in the shard.
 func (sh *shard) rows() int { return len(sh.start) }
+
+// tail returns the number of pending (unsealed) rows.
+func (sh *shard) tail() int { return sh.rows() - sh.sealed }
+
+// ordRow maps sorted position k to its physical row index.
+func (sh *shard) ordRow(k int) int {
+	if sh.ord == nil {
+		return k
+	}
+	return int(sh.ord[k])
+}
 
 // ports returns row i's port list as a view into the arena. Out-of-range
 // references (possible only in a corrupt segment file) yield nil instead
@@ -88,11 +120,16 @@ func (sh *shard) view(i int, e *Event) {
 	e.Ports = sh.ports(i)
 }
 
-// appendRow appends e's fields to the columns, copying its ports into
-// the arena. Frozen (segment-backed) shards are copied to the heap first.
+// appendRow appends e's fields to the columns as a pending-tail row,
+// copying its ports into the arena. Frozen (segment-backed) shards are
+// copied to the heap first. The per-shard counts are maintained
+// incrementally, so appending never invalidates them.
 func (sh *shard) appendRow(e *Event) {
 	if sh.frozen {
 		sh.thaw()
+	}
+	if sh.rows() == 0 {
+		sh.counted = true // an empty shard is trivially counted
 	}
 	sh.start = append(sh.start, e.Start)
 	sh.target = append(sh.target, e.Target)
@@ -109,11 +146,17 @@ func (sh *shard) appendRow(e *Event) {
 	sh.portOff = append(sh.portOff, uint32(len(sh.arena)))
 	sh.portLen = append(sh.portLen, uint16(n))
 	sh.arena = append(sh.arena, e.Ports[:n]...)
-	sh.sorted, sh.counted = false, false
+	if sh.counted {
+		if src, vec := int(sh.key[len(sh.key)-1]>>8), int(e.Vector); src < 2 && vec < NumVectors {
+			sh.counts[src][vec]++
+		} else {
+			sh.unindexed++
+		}
+	}
 }
 
 // thaw copies every column out of read-only segment memory so the shard
-// can be appended to and re-sorted.
+// can be appended to.
 func (sh *shard) thaw() {
 	sh.start = slices.Clone(sh.start)
 	sh.target = slices.Clone(sh.target)
@@ -129,55 +172,102 @@ func (sh *shard) thaw() {
 	sh.frozen = false
 }
 
-// gather applies a row permutation to one column.
+// gather copies one column through a row permutation (used by the
+// segment writer to emit physically sorted blocks without permuting the
+// live shard).
 func gather[T any](col []T, perm []int32) []T {
-	out := make([]T, len(col))
+	out := make([]T, len(perm))
 	for i, p := range perm {
 		out[i] = col[p]
 	}
 	return out
 }
 
-// sortAndCount re-sorts the shard's rows by (Start, Target) and refreshes
-// its counts. The sort orders a row permutation over the two hot columns
-// and then gathers every column through it; arena entries never move,
-// only the (offset, length) references do.
-func (sh *shard) sortAndCount() {
-	n := sh.rows()
-	perm := make([]int32, n)
-	for i := range perm {
-		perm[i] = int32(i)
+// cmpRows orders two physical rows by the (start, target) sort key.
+func (sh *shard) cmpRows(a, b int32) int {
+	if c := cmp.Compare(sh.start[a], sh.start[b]); c != 0 {
+		return c
 	}
-	slices.SortStableFunc(perm, func(a, b int32) int {
-		if c := cmp.Compare(sh.start[a], sh.start[b]); c != 0 {
-			return c
-		}
-		return cmp.Compare(sh.target[a], sh.target[b])
-	})
-	inOrder := true
-	for i := range perm {
-		if perm[i] != int32(i) {
-			inOrder = false
-			break
-		}
-	}
-	if !inOrder {
-		sh.start = gather(sh.start, perm)
-		sh.target = gather(sh.target, perm)
-		sh.key = gather(sh.key, perm)
-		sh.end = gather(sh.end, perm)
-		sh.packets = gather(sh.packets, perm)
-		sh.bytes = gather(sh.bytes, perm)
-		sh.maxPPS = gather(sh.maxPPS, perm)
-		sh.avgRPS = gather(sh.avgRPS, perm)
-		sh.portOff = gather(sh.portOff, perm)
-		sh.portLen = gather(sh.portLen, perm)
-	}
-	sh.countRows()
-	sh.sorted = true
+	return cmp.Compare(sh.target[a], sh.target[b])
 }
 
-// countRows rebuilds the per-(source, vector) counts from the key column.
+// seal merges the pending tail into the body ordering: the tail rows
+// are sorted among themselves (stable, so equal keys keep arrival
+// order) and then sorted-merged with the body's ord run. Cost is
+// O(tail log tail + body) — proportional to the delta plus one linear
+// merge — instead of the O(n log n) full re-sort of the pre-incremental
+// store, and no column data moves, so existing (shard, row) handles
+// stay valid.
+func (sh *shard) seal() {
+	n := sh.rows()
+	t := n - sh.sealed
+	if t == 0 {
+		return
+	}
+	tail := make([]int32, t)
+	for i := range tail {
+		tail[i] = int32(sh.sealed + i)
+	}
+	slices.SortStableFunc(tail, sh.cmpRows)
+	body := sh.sealed
+	sh.sealed = n
+	// Append fast path: a tail that sorts entirely after the body (the
+	// common case for time-ordered live ingest) extends the run without
+	// a merge; with an identity body it costs nothing at all.
+	if body == 0 || sh.cmpRows(int32(sh.ordRow(body-1)), tail[0]) <= 0 {
+		if sh.ord == nil {
+			if tailIsIdentity(tail, body) {
+				return
+			}
+			sh.ord = identity(body)
+		}
+		sh.ord = append(sh.ord, tail...)
+		return
+	}
+	merged := make([]int32, 0, n)
+	bi, ti := 0, 0
+	for bi < body && ti < t {
+		b := int32(sh.ordRow(bi))
+		// Ties keep the body row first: physical order is arrival order,
+		// and tail rows arrived later.
+		if sh.cmpRows(b, tail[ti]) <= 0 {
+			merged = append(merged, b)
+			bi++
+		} else {
+			merged = append(merged, tail[ti])
+			ti++
+		}
+	}
+	for ; bi < body; bi++ {
+		merged = append(merged, int32(sh.ordRow(bi)))
+	}
+	merged = append(merged, tail[ti:]...)
+	sh.ord = merged
+}
+
+// tailIsIdentity reports whether the sorted tail indexes are exactly
+// base, base+1, ... — i.e. the tail was appended already in order.
+func tailIsIdentity(tail []int32, base int) bool {
+	for i, p := range tail {
+		if p != int32(base+i) {
+			return false
+		}
+	}
+	return true
+}
+
+// identity builds the identity permutation of length n.
+func identity(n int) []int32 {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(i)
+	}
+	return out
+}
+
+// countRows rebuilds the per-(source, vector) counts from the key
+// column. Only segment-backed shards (which arrive uncounted) ever need
+// this; heap shards maintain their counts incrementally in appendRow.
 func (sh *shard) countRows() {
 	sh.counts = [2][NumVectors]int{}
 	sh.unindexed = 0

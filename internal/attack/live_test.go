@@ -1,0 +1,418 @@
+package attack
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"doscope/internal/netx"
+)
+
+// sortedOracle returns the events in the store's global (Start, Target)
+// order: a stable sort of the arrival sequence, which is exactly what
+// sealing preserves.
+func sortedOracle(evs []Event) []Event {
+	out := append([]Event(nil), evs...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Target < out[j].Target
+	})
+	return out
+}
+
+// checkLiveOracle runs the query-case matrix against a store mid-ingest
+// (pending tails and all) and compares every terminal with the naive
+// slice oracle.
+func checkLiveOracle(t *testing.T, st *Store, oracle []Event, full bool) {
+	t.Helper()
+	sorted := sortedOracle(oracle)
+	for _, tc := range queryCases() {
+		want := oracleFilter(sorted, tc.oracle)
+		// Counting terminals first: they must answer from the index +
+		// pending-tail scan without sealing anything.
+		if got := tc.build(st.Query()).Count(); got != len(want) {
+			t.Fatalf("%s: Count = %d, want %d (pending %d)", tc.name, got, len(want), st.pendingRows())
+		}
+		var wantVec [NumVectors]int
+		for i := range want {
+			wantVec[want[i].Vector]++
+		}
+		if got := tc.build(st.Query()).CountByVector(); got != wantVec {
+			t.Fatalf("%s: CountByVector = %v, want %v", tc.name, got, wantVec)
+		}
+		wantDay := make([]int, WindowDays)
+		for i := range want {
+			if d := want[i].Day(); d >= 0 && d < WindowDays {
+				wantDay[d]++
+			}
+		}
+		if got := tc.build(st.Query()).CountByDay(); !reflect.DeepEqual(got, wantDay) {
+			t.Fatalf("%s: CountByDay mismatch", tc.name)
+		}
+		if !full {
+			continue
+		}
+		if got := tc.build(st.Query()).Events(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: Events: got %d events, want %d (first diff %s)",
+				tc.name, len(got), len(want), firstDiff(got, want))
+		}
+		folded := Fold(tc.build(st.Query()),
+			func() int { return 0 },
+			func(n int, e *Event) int { return n + 1 },
+			func(a, b int) int { return a + b })
+		if folded != len(want) {
+			t.Fatalf("%s: Fold = %d, want %d", tc.name, folded, len(want))
+		}
+		got := tc.build(st.Query()).GroupByTarget()
+		wantBy := make(map[netx.Addr]int)
+		for i := range want {
+			wantBy[want[i].Target]++
+		}
+		if len(got) != len(wantBy) {
+			t.Fatalf("%s: GroupByTarget: %d targets, want %d", tc.name, len(got), len(wantBy))
+		}
+		for addr, evs := range got {
+			if len(evs) != wantBy[addr] {
+				t.Fatalf("%s: GroupByTarget[%v] = %d events, want %d", tc.name, addr, len(evs), wantBy[addr])
+			}
+		}
+	}
+	wantTargets := make(map[netx.Addr]struct{})
+	for i := range oracle {
+		wantTargets[oracle[i].Target] = struct{}{}
+	}
+	if got := st.UniqueTargets(); got != len(wantTargets) {
+		t.Fatalf("UniqueTargets = %d, want %d", got, len(wantTargets))
+	}
+}
+
+// assertIndexesMatchRebuild compares the store's delta-maintained
+// indexes against a from-scratch rebuild over the same events.
+func assertIndexesMatchRebuild(t *testing.T, st *Store, oracle []Event) {
+	t.Helper()
+	fresh := NewStore(oracle)
+	st.Seal()
+	fresh.Seal()
+	st.ensureCounts()
+	fresh.ensureCounts()
+	if !reflect.DeepEqual(st.counts, fresh.counts) {
+		t.Fatalf("delta-maintained count index diverged from a from-scratch rebuild:\n%+v\nvs\n%+v",
+			st.counts.out, fresh.counts.out)
+	}
+	st.ensureTargets()
+	fresh.ensureTargets()
+	if len(st.targets) != len(fresh.targets) {
+		t.Fatalf("by-target index has %d targets, rebuild has %d", len(st.targets), len(fresh.targets))
+	}
+	for addr, refs := range st.targets {
+		if len(refs) != len(fresh.targets[addr]) {
+			t.Fatalf("by-target index[%v] has %d refs, rebuild has %d", addr, len(refs), len(fresh.targets[addr]))
+		}
+	}
+}
+
+// TestLiveIngestOracle is the live-ingest interleaving property test:
+// alternating Add and AddBatch with counting, iterating, grouping and
+// folding terminals between mutations, against a naive slice oracle —
+// including ingest into a segment-backed (frozen) store — and asserting
+// at the end that the incrementally maintained indexes match a
+// from-scratch rebuild exactly.
+func TestLiveIngestOracle(t *testing.T) {
+	for _, fromSegment := range []bool{false, true} {
+		name := "empty-store"
+		if fromSegment {
+			name = "segment-backed"
+		}
+		t.Run(name, func(t *testing.T) {
+			for seed := int64(1); seed <= 3; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				var st *Store
+				var oracle []Event
+				if fromSegment {
+					base := randomEvents(rng, 600)
+					heap := NewStore(base)
+					oracle = heap.Events()
+					seg, err := OpenSegment(segmentBytes(t, heap))
+					if err != nil {
+						t.Fatal(err)
+					}
+					st = seg
+					// Warm the indexes so the rest of the run maintains
+					// them purely by deltas.
+					st.Query().Count()
+					st.Query().Target(oracle[0].Target).Count()
+				} else {
+					st = &Store{}
+				}
+				for round := 0; round < 6; round++ {
+					if rng.Intn(2) == 0 {
+						batch := randomEvents(rng, rng.Intn(200))
+						st.AddBatch(batch)
+						oracle = append(oracle, batch...)
+					} else {
+						singles := randomEvents(rng, rng.Intn(120))
+						for i := range singles {
+							st.Add(singles[i])
+						}
+						oracle = append(oracle, singles...)
+					}
+					// Full terminal matrix every other round keeps the
+					// test fast while still interleaving seals (Iter,
+					// Fold) with pending-tail counting paths.
+					checkLiveOracle(t, st, oracle, round%2 == 1)
+				}
+				assertIndexesMatchRebuild(t, st, oracle)
+			}
+		})
+	}
+}
+
+// TestLiveIngestNoRebuilds is the rebuild-counter assertion: once the
+// lazy indexes exist, live ingest maintains them purely by seal deltas —
+// a post-seal Count is answered from the delta-maintained index with
+// zero from-scratch rebuilds and zero full re-sorts (the incremental
+// store has no full-sort path at all).
+func TestLiveIngestNoRebuilds(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	st := NewStore(randomEvents(rng, 2000))
+
+	if n := st.Query().Count(); n != 2000 {
+		t.Fatalf("Count = %d", n)
+	}
+	if st.rebuilds != 1 {
+		t.Fatalf("first Count built %d indexes, want 1", st.rebuilds)
+	}
+	target := st.Events()[0].Target
+	st.Query().Target(target).Count()
+	if st.rebuilds != 2 {
+		t.Fatalf("target query raised rebuilds to %d, want 2", st.rebuilds)
+	}
+
+	// rowRef stability: remember which events the index resolves now.
+	refs := append([]rowRef(nil), st.targets[target]...)
+	wantEvents := make([]Event, len(refs))
+	for i, ref := range refs {
+		st.shards[ref.shard].view(int(ref.row), &wantEvents[i])
+	}
+
+	// Live ingest: thousands of Adds force many automatic seals, plus
+	// explicit AddBatch seals.
+	extra := randomEvents(rng, 3000)
+	for i := range extra[:1500] {
+		st.Add(extra[i])
+	}
+	st.AddBatch(extra[1500:])
+	st.Seal()
+
+	if st.pendingRows() != 0 {
+		t.Fatalf("Seal left %d pending rows", st.pendingRows())
+	}
+	if n := st.Query().Count(); n != 5000 {
+		t.Fatalf("post-seal Count = %d, want 5000", n)
+	}
+	if st.rebuilds != 2 {
+		t.Fatalf("live ingest triggered %d from-scratch index rebuilds; deltas should have maintained both indexes", st.rebuilds-2)
+	}
+
+	// The pre-ingest references must still resolve to the same events:
+	// sealing rewrites order indexes, never rows.
+	for i, ref := range refs {
+		var got Event
+		st.shards[ref.shard].view(int(ref.row), &got)
+		if !reflect.DeepEqual(got, wantEvents[i]) {
+			t.Fatalf("rowRef %d resolved to a different event after live ingest", i)
+		}
+	}
+
+	// And the delta-maintained per-day counts must agree with a full
+	// recount of everything ingested.
+	wantDay := make([]int, WindowDays)
+	for _, e := range st.Events() {
+		if d := e.Day(); d >= 0 && d < WindowDays {
+			wantDay[d]++
+		}
+	}
+	if got := st.Query().CountByDay(); !reflect.DeepEqual(got, wantDay) {
+		t.Fatal("post-seal CountByDay disagrees with a full recount")
+	}
+	if st.rebuilds != 2 {
+		t.Fatalf("query traffic after seal triggered rebuilds (%d)", st.rebuilds-2)
+	}
+}
+
+// TestAddBatchMatchesAdds checks that the batch path is observably
+// identical to event-at-a-time ingest, and that it seals eagerly.
+func TestAddBatchMatchesAdds(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	evs := randomEvents(rng, 700)
+	batch := &Store{}
+	batch.AddBatch(evs)
+	single := &Store{}
+	for i := range evs {
+		single.Add(evs[i])
+	}
+	if !reflect.DeepEqual(batch.Events(), single.Events()) {
+		t.Fatal("AddBatch and Add produced different stores")
+	}
+	if batch.Version() != uint64(len(evs)) {
+		t.Fatalf("Version after AddBatch = %d, want %d", batch.Version(), len(evs))
+	}
+	fresh := &Store{}
+	fresh.AddBatch(evs)
+	for si := range fresh.shards {
+		if tl := fresh.shards[si].tail(); tl >= sealTailMax {
+			t.Fatalf("shard %d kept a %d-row tail after AddBatch; threshold is %d", si, tl, sealTailMax)
+		}
+	}
+	fresh.AddBatch(nil)
+	if fresh.Version() != uint64(len(evs)) {
+		t.Fatal("empty AddBatch bumped the version")
+	}
+}
+
+// TestEventsDefensiveCopy: the deprecated shim must hand out a private
+// slice — mutating it cannot corrupt later reads.
+func TestEventsDefensiveCopy(t *testing.T) {
+	s := NewStore(sampleEvents())
+	evs := s.Events()
+	want := append([]Event(nil), evs...)
+	for i := range evs {
+		evs[i] = Event{Target: netx.MustParseAddr("255.255.255.255")}
+	}
+	if !reflect.DeepEqual(s.Events(), want) {
+		t.Fatal("mutating the Events() result corrupted the store's later reads")
+	}
+}
+
+// TestBinaryPortClamp: DOSEVT01 stores the port count in one byte, so
+// WriteBinary must clamp >255-port lists at the format limit instead of
+// wrapping mod 256 and desynchronizing the stream. DOSEVT02 and CSV
+// have no such limit and round-trip the full list.
+func TestBinaryPortClamp(t *testing.T) {
+	big := Event{
+		Source: SourceTelescope, Vector: VectorTCP,
+		Target: netx.MustParseAddr("203.0.113.7"),
+		Start:  WindowStart + 100, End: WindowStart + 400,
+		Packets: 500, Bytes: 20000, MaxPPS: 12.5,
+	}
+	for p := 0; p < 300; p++ {
+		big.Ports = append(big.Ports, uint16(p+1))
+	}
+	follow := Event{
+		Source: SourceHoneypot, Vector: VectorNTP,
+		Target: netx.MustParseAddr("203.0.113.9"),
+		Start:  WindowStart + 500, End: WindowStart + 900,
+		Packets: 10, Bytes: 100, AvgRPS: 2,
+		Ports: []uint16{123},
+	}
+	s := NewStore([]Event{big, follow})
+
+	// DOSEVT01: clamped to 255 ports, and crucially the record after the
+	// oversized one still parses (the seed wrote a wrapped count byte but
+	// all 300 ports, desynchronizing every later record).
+	var bin bytes.Buffer
+	if err := s.WriteBinary(&bin); err != nil {
+		t.Fatal(err)
+	}
+	from01, err := ReadBinary(&bin)
+	if err != nil {
+		t.Fatalf("DOSEVT01 with >255-port event failed to parse: %v", err)
+	}
+	got := from01.Events()
+	if len(got) != 2 {
+		t.Fatalf("DOSEVT01 round trip produced %d events, want 2", len(got))
+	}
+	if !reflect.DeepEqual(got[0].Ports, big.Ports[:maxBinPorts]) {
+		t.Fatalf("DOSEVT01 ports = %d entries, want the first %d", len(got[0].Ports), maxBinPorts)
+	}
+	if !reflect.DeepEqual(got[1].Ports, follow.Ports) {
+		t.Fatal("record following the clamped one was misparsed")
+	}
+
+	// DOSEVT02: lossless.
+	from02, err := OpenSegment(segmentBytes(t, s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evs := from02.Events(); !reflect.DeepEqual(evs[0].Ports, big.Ports) {
+		t.Fatalf("DOSEVT02 ports = %d entries, want %d", len(evs[0].Ports), len(big.Ports))
+	}
+
+	// CSV: lossless.
+	var csvBuf bytes.Buffer
+	if err := s.WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	fromCSV, err := ReadCSV(&csvBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evs := fromCSV.Events(); !reflect.DeepEqual(evs[0].Ports, big.Ports) {
+		t.Fatalf("CSV ports = %d entries, want %d", len(evs[0].Ports), len(big.Ports))
+	}
+}
+
+// TestReadCSVPortTokens: trailing and doubled separators must be
+// skipped, real garbage still rejected.
+func TestReadCSVPortTokens(t *testing.T) {
+	row := func(ports string) string {
+		return "source,vector,target,start,end,packets,bytes,max_pps,avg_rps,ports\n" +
+			`telescope,TCP,203.0.113.1,1425168100,1425168200,10,100,1,0,"` + ports + `"` + "\n"
+	}
+	cases := []struct {
+		ports string
+		want  []uint16
+	}{
+		{"80", []uint16{80}},
+		{"80;", []uint16{80}},
+		{"80;;443", []uint16{80, 443}},
+		{";", nil},
+		{";;", nil},
+		{";8080", []uint16{8080}},
+	}
+	for _, c := range cases {
+		s, err := ReadCSV(strings.NewReader(row(c.ports)))
+		if err != nil {
+			t.Errorf("ports %q: %v", c.ports, err)
+			continue
+		}
+		got := s.Events()[0].Ports
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("ports %q parsed as %v, want %v", c.ports, got, c.want)
+		}
+	}
+	if _, err := ReadCSV(strings.NewReader(row("80;x"))); err == nil {
+		t.Error("non-numeric port token accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader(row("80;70000"))); err == nil {
+		t.Error("out-of-range port token accepted")
+	}
+}
+
+// TestSegmentAddThenCountImmediately: a segment-backed store that takes
+// an Add before ANY other query must still count the pending row on the
+// index fast path — the thawed shard's per-(source, vector) counts are
+// not authoritative until countRows runs, so the pending-tail scan must
+// not prune on them.
+func TestSegmentAddThenCountImmediately(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	heap := NewStore(randomEvents(rng, 400))
+	seg, err := OpenSegment(segmentBytes(t, heap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := heap.Query().Vectors(VectorQOTD).Count()
+	seg.Add(Event{
+		Source: SourceHoneypot, Vector: VectorQOTD,
+		Target: netx.MustParseAddr("198.18.0.1"),
+		Start:  WindowStart + 42, End: WindowStart + 90,
+	})
+	if got := seg.Query().Vectors(VectorQOTD).Count(); got != want+1 {
+		t.Fatalf("Count = %d, want %d (pending row on a thawed, uncounted shard was dropped)", got, want+1)
+	}
+}

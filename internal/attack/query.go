@@ -1,8 +1,10 @@
 package attack
 
 import (
+	"cmp"
 	"iter"
 	"runtime"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -19,9 +21,14 @@ import (
 // filters are tested against the hot shard columns (~14 bytes per event)
 // and only matching rows are materialized into Event views.
 //
+// Under live ingest, counting terminals answer sealed rows from the
+// delta-maintained indexes and the small pending tails by linear scan;
+// only terminals that need sorted order (Iter, IterByStart, Fold) seal
+// the stores first.
+//
 // A Query is single-use and not safe for concurrent execution: terminals
-// may build lazy store indexes. Fold parallelizes internally and is safe
-// on its own.
+// may build lazy store indexes or seal pending tails. Fold parallelizes
+// internally and is safe on its own.
 type Query struct {
 	stores     []*Store
 	source     int8   // -1 = any
@@ -168,16 +175,59 @@ func (q *Query) shardMayMatch(sh *shard) bool {
 	return false
 }
 
-// forEachRow invokes fn for every matching (shard, row) of st in Iter
-// order, after sealing the store's lazy state. Exact-target queries walk
-// the by-target index instead of scanning. When the query carries a
-// predicate, scratch holds the materialized row as fn runs. fn returning
-// false stops the walk; forEachRow reports whether it ran to completion.
-func (q *Query) forEachRow(st *Store, scratch *Event, fn func(sh *shard, i int) bool) bool {
-	st.ensureSorted()
+// targetRefs collects the (shard, row) handles of every event aimed at
+// the query's exact target: the sealed rows from the by-target index
+// plus a linear scan of the pending tails. When ordered, the refs are
+// returned in (start, shard, row) order — the global (Start, Target)
+// iteration order, since targets are equal and physical row order is
+// arrival order.
+func (q *Query) targetRefs(st *Store, ordered bool) []rowRef {
+	st.ensureTargets()
+	refs := st.targets[q.prefix]
+	var pend []rowRef
+	for si := range st.shards {
+		sh := &st.shards[si]
+		for i := sh.sealed; i < sh.rows(); i++ {
+			if sh.target[i] == q.prefix {
+				pend = append(pend, rowRef{int32(si), int32(i)})
+			}
+		}
+	}
+	if len(pend) == 0 && !ordered {
+		return refs
+	}
+	all := make([]rowRef, 0, len(refs)+len(pend))
+	all = append(append(all, refs...), pend...)
+	if ordered {
+		slices.SortFunc(all, func(a, b rowRef) int {
+			if c := cmp.Compare(st.shards[a.shard].start[a.row], st.shards[b.shard].start[b.row]); c != 0 {
+				return c
+			}
+			if c := cmp.Compare(a.shard, b.shard); c != 0 {
+				return c
+			}
+			return cmp.Compare(a.row, b.row)
+		})
+	}
+	return all
+}
+
+// forEachRow invokes fn for every matching (shard, row) of st. When
+// ordered, the store is sealed first and rows are visited in Iter
+// order (through each shard's order index); unordered visits take the
+// physical layout, which lets counting terminals skip the seal and
+// still see pending-tail rows. Exact-target queries walk the by-target
+// index instead of scanning. When the query carries a predicate,
+// scratch holds the materialized row as fn runs. fn returning false
+// stops the walk; forEachRow reports whether it ran to completion.
+func (q *Query) forEachRow(st *Store, scratch *Event, ordered bool, fn func(sh *shard, i int) bool) bool {
+	if ordered {
+		st.ensureSealed()
+	} else {
+		st.ensureCounted()
+	}
 	if q.hasPrefix && q.prefixBits >= 32 {
-		st.ensureTargets()
-		for _, ref := range st.targets[q.prefix] {
+		for _, ref := range q.targetRefs(st, ordered) {
 			sh := &st.shards[ref.shard]
 			i := int(ref.row)
 			if !q.matchKey(sh, i) {
@@ -201,29 +251,77 @@ func (q *Query) forEachRow(st *Store, scratch *Event, fn func(sh *shard, i int) 
 		if !q.shardMayMatch(sh) {
 			continue
 		}
+		ord := sh.ord
+		if !ordered {
+			ord = nil // physical order covers body and tail alike
+		}
 		if q.pred == nil {
 			// Pure columnar scan: only the hot columns are read.
-			for i, n := 0, sh.rows(); i < n; i++ {
-				if q.matchKey(sh, i) && !fn(sh, i) {
-					return false
+			if ord == nil {
+				for i, n := 0, sh.rows(); i < n; i++ {
+					if q.matchKey(sh, i) && !fn(sh, i) {
+						return false
+					}
+				}
+			} else {
+				for _, p := range ord {
+					if i := int(p); q.matchKey(sh, i) && !fn(sh, i) {
+						return false
+					}
 				}
 			}
 			continue
 		}
-		for i, n := 0, sh.rows(); i < n; i++ {
+		visit := func(i int) bool {
 			if !q.matchKey(sh, i) {
-				continue
+				return true
 			}
 			sh.view(i, scratch)
 			if !q.pred(scratch) {
-				continue
+				return true
 			}
-			if !fn(sh, i) {
-				return false
+			return fn(sh, i)
+		}
+		if ord == nil {
+			for i, n := 0, sh.rows(); i < n; i++ {
+				if !visit(i) {
+					return false
+				}
+			}
+		} else {
+			for _, p := range ord {
+				if !visit(int(p)) {
+					return false
+				}
 			}
 		}
 	}
 	return true
+}
+
+// forEachPendingRow visits every pending-tail row matching the columnar
+// filters. The count fast paths answer sealed rows from the
+// delta-maintained indexes and use this to fold in the (at most
+// sealTailMax per shard) rows not yet sealed. Callers guarantee the
+// query has no predicate.
+func (q *Query) forEachPendingRow(st *Store, fn func(sh *shard, i int)) {
+	lo, hi := q.shardRange()
+	for si := lo; si <= hi && si < len(st.shards); si++ {
+		sh := &st.shards[si]
+		if sh.sealed == sh.rows() {
+			continue
+		}
+		// A thawed segment shard that never went through countRows has
+		// zero-valued counts; prune only when they are authoritative.
+		if sh.counted && !q.shardMayMatch(sh) {
+			continue
+		}
+		for i, n := sh.sealed, sh.rows(); i < n; i++ {
+			if q.matchKey(sh, i) {
+				fn(sh, i)
+			}
+		}
+	}
 }
 
 // Iter yields matching events store by store, each in (Start, Target)
@@ -239,7 +337,7 @@ func (q *Query) Iter() iter.Seq[*Event] {
 			if st == nil || st.length == 0 {
 				continue
 			}
-			ok := q.forEachRow(st, &scratch, func(sh *shard, i int) bool {
+			ok := q.forEachRow(st, &scratch, true, func(sh *shard, i int) bool {
 				if q.pred == nil {
 					sh.view(i, &scratch)
 				}
@@ -263,7 +361,7 @@ func (q *Query) IterByStart() iter.Seq[*Event] {
 		lo, hi := q.shardRange()
 		for _, st := range q.stores {
 			if st != nil {
-				st.ensureSorted()
+				st.ensureSealed()
 			}
 		}
 		type cursor struct {
@@ -290,7 +388,7 @@ func (q *Query) IterByStart() iter.Seq[*Event] {
 					if c.i >= c.n {
 						continue
 					}
-					if s := c.sh.start[c.i]; best < 0 || s < bestStart {
+					if s := c.sh.start[c.sh.ordRow(c.i)]; best < 0 || s < bestStart {
 						best, bestStart = k, s
 					}
 				}
@@ -298,7 +396,7 @@ func (q *Query) IterByStart() iter.Seq[*Event] {
 					break
 				}
 				c := &cursors[best]
-				i := c.i
+				i := c.sh.ordRow(c.i)
 				c.i++
 				if !q.matchKey(c.sh, i) {
 					continue
@@ -340,9 +438,10 @@ func (q *Query) GroupByTarget() map[netx.Addr][]*Event {
 
 // Count returns the number of matching events. Queries filtering only on
 // source, vector, and day range are answered from the per-day count index
-// without touching a single event; exact-target queries from the
-// by-target index. Everything else is a columnar scan over the hot
-// columns that materializes no events (unless a predicate forces it).
+// plus a linear scan of the pending tails, without sealing or re-sorting
+// anything; exact-target queries from the by-target index. Everything
+// else is a columnar scan over the hot columns that materializes no
+// events (unless a predicate forces it).
 func (q *Query) Count() int {
 	n := 0
 	for _, st := range q.stores {
@@ -357,20 +456,22 @@ func (q *Query) Count() int {
 func (q *Query) countStore(st *Store) int {
 	if !q.hasPrefix && q.pred == nil {
 		if n, ok := q.countViaIndex(st, nil); ok {
+			q.forEachPendingRow(st, func(*shard, int) { n++ })
 			return n
 		}
 	}
 	n := 0
 	var scratch Event
-	q.forEachRow(st, &scratch, func(*shard, int) bool { n++; return true })
+	q.forEachRow(st, &scratch, false, func(*shard, int) bool { n++; return true })
 	return n
 }
 
-// countViaIndex answers a source/vector/day-only count from the per-day
-// index. When perVec is non-nil it additionally accumulates per-vector
-// totals. ok is false when the index cannot answer exactly (events with
-// out-of-range enum values, or a day filter straddling the window edge
-// while out-of-window events exist).
+// countViaIndex answers a source/vector/day-only count over the SEALED
+// rows from the per-day index (the caller adds pending-tail rows via
+// forEachPendingRow). When perVec is non-nil it additionally accumulates
+// per-vector totals. ok is false when the index cannot answer exactly
+// (events with out-of-range enum values, or a day filter straddling the
+// window edge while out-of-window events exist).
 func (q *Query) countViaIndex(st *Store, perVec *[NumVectors]int) (n int, ok bool) {
 	st.ensureCounts()
 	c := st.counts
@@ -421,9 +522,9 @@ func (q *Query) countViaIndex(st *Store, perVec *[NumVectors]int) (n int, ok boo
 }
 
 // CountByVector returns matching event counts per attack vector, answered
-// from the count index when the query has no prefix or predicate filter
-// and from the key column otherwise. Events with out-of-range vector
-// values are not counted.
+// from the count index plus a pending-tail scan when the query has no
+// prefix or predicate filter, and from the key column otherwise. Events
+// with out-of-range vector values are not counted.
 func (q *Query) CountByVector() [NumVectors]int {
 	var out [NumVectors]int
 	for _, st := range q.stores {
@@ -432,11 +533,16 @@ func (q *Query) CountByVector() [NumVectors]int {
 		}
 		if !q.hasPrefix && q.pred == nil {
 			if _, ok := q.countViaIndex(st, &out); ok {
+				q.forEachPendingRow(st, func(sh *shard, i int) {
+					if vec := int(sh.key[i] & 0xff); vec < NumVectors {
+						out[vec]++
+					}
+				})
 				continue
 			}
 		}
 		var scratch Event
-		q.forEachRow(st, &scratch, func(sh *shard, i int) bool {
+		q.forEachRow(st, &scratch, false, func(sh *shard, i int) bool {
 			if vec := int(sh.key[i] & 0xff); vec < NumVectors {
 				out[vec]++
 			}
@@ -447,8 +553,9 @@ func (q *Query) CountByVector() [NumVectors]int {
 }
 
 // CountByDay returns matching in-window event counts per start day
-// (length WindowDays), answered from the count index when the query has
-// no prefix or predicate filter and from the start column otherwise.
+// (length WindowDays), answered from the count index plus a pending-tail
+// scan when the query has no prefix or predicate filter, and from the
+// start column otherwise.
 func (q *Query) CountByDay() []int {
 	out := make([]int, WindowDays)
 	dlo, dhi := 0, WindowDays-1
@@ -478,11 +585,16 @@ func (q *Query) CountByDay() []int {
 						}
 					}
 				}
+				q.forEachPendingRow(st, func(sh *shard, i int) {
+					if d := DayOf(sh.start[i]); d >= 0 && d < WindowDays {
+						out[d]++
+					}
+				})
 				continue
 			}
 		}
 		var scratch Event
-		q.forEachRow(st, &scratch, func(sh *shard, i int) bool {
+		q.forEachRow(st, &scratch, false, func(sh *shard, i int) bool {
 			if d := DayOf(sh.start[i]); d >= 0 && d < WindowDays {
 				out[d]++
 			}
@@ -510,7 +622,7 @@ func Fold[T any](q *Query, init func() T, acc func(T, *Event) T, merge func(T, T
 	lo, hi := q.shardRange()
 	for _, st := range q.stores {
 		if st != nil {
-			st.ensureSorted()
+			st.ensureSealed()
 		}
 	}
 	var tasks []int
@@ -538,7 +650,8 @@ func Fold[T any](q *Query, init func() T, acc func(T, *Event) T, merge func(T, T
 			if !q.shardMayMatch(sh) {
 				continue
 			}
-			for i, n := 0, sh.rows(); i < n; i++ {
+			for k, n := 0, sh.rows(); k < n; k++ {
+				i := sh.ordRow(k)
 				if !q.matchKey(sh, i) {
 					continue
 				}

@@ -77,9 +77,12 @@ var hostLittle = func() bool {
 // --- writer ----------------------------------------------------------
 
 // WriteSegment writes the store in the DOSEVT02 segment format. The
-// store's lazy sort is sealed first, so blocks come out in query order.
+// store is sealed first, and shards whose live order index is a
+// non-identity permutation are gathered into sorted temporaries on the
+// way out, so blocks always land physically in (start, target) order
+// and reopen with no order index at all.
 func (s *Store) WriteSegment(w io.Writer) error {
-	s.ensureSorted()
+	s.ensureSealed()
 	bw := bufio.NewWriterSize(w, 1<<16)
 	if _, err := bw.WriteString(segMagic); err != nil {
 		return err
@@ -93,14 +96,26 @@ func (s *Store) WriteSegment(w io.Writer) error {
 			continue
 		}
 		sh := &s.shards[si]
+		start, end, packets, bts := sh.start, sh.end, sh.packets, sh.bytes
+		maxPPS, avgRPS, target, key := sh.maxPPS, sh.avgRPS, sh.target, sh.key
+		portOff, portLen := sh.portOff, sh.portLen
+		if sh.ord != nil {
+			// Row permutation only: arena entries never move, the
+			// (offset, length) references stay valid as written.
+			start, end = gather(sh.start, sh.ord), gather(sh.end, sh.ord)
+			packets, bts = gather(sh.packets, sh.ord), gather(sh.bytes, sh.ord)
+			maxPPS, avgRPS = gather(sh.maxPPS, sh.ord), gather(sh.avgRPS, sh.ord)
+			target, key = gather(sh.target, sh.ord), gather(sh.key, sh.ord)
+			portOff, portLen = gather(sh.portOff, sh.ord), gather(sh.portLen, sh.ord)
+		}
 		r, a := uint64(sh.rows()), uint64(len(sh.arena))
 		metas[si] = segMeta{off, r, a}
 		if err := writeCols(bw,
-			col[int64]{sh.start, putI64}, col[int64]{sh.end, putI64},
-			col[uint64]{sh.packets, putU64}, col[uint64]{sh.bytes, putU64},
-			col[float64]{sh.maxPPS, putF64}, col[float64]{sh.avgRPS, putF64},
-			col[netx.Addr]{sh.target, putAddr}, col[uint32]{sh.portOff, putU32},
-			col[uint16]{sh.key, putU16}, col[uint16]{sh.portLen, putU16},
+			col[int64]{start, putI64}, col[int64]{end, putI64},
+			col[uint64]{packets, putU64}, col[uint64]{bts, putU64},
+			col[float64]{maxPPS, putF64}, col[float64]{avgRPS, putF64},
+			col[netx.Addr]{target, putAddr}, col[uint32]{portOff, putU32},
+			col[uint16]{key, putU16}, col[uint16]{portLen, putU16},
 			col[uint16]{sh.arena, putU16},
 		); err != nil {
 			return err
@@ -268,7 +283,7 @@ func OpenSegment(data []byte) (*Store, error) {
 		sh.key = openColumn(b[56*rows:], r, getU16)
 		sh.portLen = openColumn(b[58*rows:], r, getU16)
 		sh.arena = openColumn(b[60*rows:], a, getU16)
-		sh.sorted, sh.frozen = true, true
+		sh.sealed, sh.frozen = r, true
 		sum += rows
 	}
 	if sum != totalRows {
@@ -296,10 +311,10 @@ func openColumn[T any](b []byte, n int, get func([]byte) T) []T {
 	return out
 }
 
-func getI64(b []byte) int64    { return int64(binary.LittleEndian.Uint64(b)) }
-func getU64(b []byte) uint64   { return binary.LittleEndian.Uint64(b) }
-func getF64(b []byte) float64  { return floatFromBits(binary.LittleEndian.Uint64(b)) }
-func getU32(b []byte) uint32   { return binary.LittleEndian.Uint32(b) }
+func getI64(b []byte) int64      { return int64(binary.LittleEndian.Uint64(b)) }
+func getU64(b []byte) uint64     { return binary.LittleEndian.Uint64(b) }
+func getF64(b []byte) float64    { return floatFromBits(binary.LittleEndian.Uint64(b)) }
+func getU32(b []byte) uint32     { return binary.LittleEndian.Uint32(b) }
 func getU16(b []byte) uint16     { return binary.LittleEndian.Uint16(b) }
 func getAddr(b []byte) netx.Addr { return netx.Addr(binary.LittleEndian.Uint32(b)) }
 

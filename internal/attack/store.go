@@ -16,11 +16,21 @@ import (
 // falls in, shardDays days per shard. Days before the window collapse into
 // the first shard and days beyond it into the last, so concatenating the
 // shards in index order always reproduces the global (Start, Target) sort
-// while Add only dirties a single shard instead of the whole store.
+// while Add only touches a single shard instead of the whole store.
 const (
 	shardDays = 8
 	numShards = (WindowDays + shardDays - 1) / shardDays
 )
+
+// sealTailMax bounds a shard's pending tail: Add seals the shard once
+// the tail reaches this many rows, so queries between seals scan at
+// most sealTailMax unsorted rows per shard. Each seal sorts the tail
+// and merges it into the shard body's order index, so amortized append
+// cost is O(log tail) plus O(body/sealTailMax) for the merge — bounded
+// by the events of one 8-day shard, never the store (and the merge
+// drops to O(tail) for append-ordered ingest, which skips the merge
+// entirely).
+const sealTailMax = 64
 
 // shardOf maps a start timestamp to its shard index.
 func shardOf(start int64) int {
@@ -35,6 +45,9 @@ func shardOf(start int64) int {
 
 // countsIndex is the store-level per-day rollup: in-window events counted
 // by (day, source, vector), out-of-window events by (source, vector).
+// It covers exactly the sealed rows of every shard — pending-tail rows
+// are counted by a linear tail scan at query time and enter the index
+// as deltas when their shard seals.
 type countsIndex struct {
 	day       [][2][NumVectors]int32 // len WindowDays
 	out       [2][NumVectors]int32
@@ -42,30 +55,41 @@ type countsIndex struct {
 	unindexed int
 }
 
-// rowRef addresses one event as a (shard, row) handle. References stay
-// valid until the next Add (which re-sorts the shard's rows).
+// rowRef addresses one event as a (shard, row) handle. Physical rows
+// never move (sealing only rewrites the shard's order index), so a
+// reference stays valid for the life of the store.
 type rowRef struct {
 	shard int32
 	row   int32
 }
 
 // Store holds attack events sharded by day-of-window. Each shard keeps
-// its events in a columnar struct-of-arrays layout (see shard) so filter
-// and count scans touch only the columns they read. The by-target and
-// per-day count indexes are built lazily on first use and invalidated by
-// Add. Access events through Query; the Events slice contract is retained
-// only as a deprecated compatibility shim.
+// its events in a columnar struct-of-arrays layout (see shard): a sorted
+// body addressed through an order index plus a small unsorted pending
+// tail that absorbs appends. The by-target and per-day count indexes are
+// built lazily on first use and from then on maintained incrementally:
+// sealing a shard applies index deltas for the newly sealed rows only,
+// so mutation cost is proportional to the delta, not the store. Access
+// events through Query; the Events slice contract is retained only as a
+// deprecated compatibility shim.
 //
-// A Store is not safe for concurrent use without external synchronization:
-// even read paths may build lazy indexes. Fold parallelizes internally
-// after sealing the lazy state and is safe on its own.
+// A Store is not safe for concurrent use without external
+// synchronization: even read paths may build lazy indexes or seal
+// pending tails. Fold parallelizes internally after sealing the lazy
+// state and is safe on its own.
 type Store struct {
 	shards  []shard
 	length  int
 	version uint64
 
-	// lazily built, invalidated by Add
-	flat    []Event // Events() compatibility cache
+	// rebuilds counts from-scratch index constructions (the lazy first
+	// build of counts or targets). Incremental maintenance never
+	// increments it: tests assert that live ingest after the first
+	// build leaves it unchanged.
+	rebuilds uint64
+
+	// Lazily built on first use, then maintained by seal deltas. Both
+	// cover exactly rows [0, shard.sealed) of every shard.
 	counts  *countsIndex
 	targets map[netx.Addr][]rowRef
 }
@@ -73,107 +97,197 @@ type Store struct {
 // NewStore builds a store from events (which it copies).
 func NewStore(events []Event) *Store {
 	s := &Store{}
-	for i := range events {
-		s.Add(events[i])
-	}
+	s.AddBatch(events)
 	return s
 }
 
-// Add appends an event, dirtying only the shard its start day falls in.
+// Add appends an event to its shard's pending tail. The shard is sealed
+// automatically once the tail reaches sealTailMax rows; until then the
+// row is visible to every query via a linear tail scan. No index is
+// invalidated and nothing is re-sorted: the append itself is O(1), and
+// the amortized seal share is bounded by the size of one day-range
+// shard over sealTailMax (see sealTailMax), not by the store.
 func (s *Store) Add(e Event) {
 	if s.shards == nil {
 		s.shards = make([]shard, numShards)
 	}
-	s.shards[shardOf(e.Start)].appendRow(&e)
+	si := shardOf(e.Start)
+	s.shards[si].appendRow(&e)
 	s.length++
 	s.version++
-	s.flat, s.counts, s.targets = nil, nil, nil
+	if s.shards[si].tail() >= sealTailMax {
+		s.sealShard(si)
+	}
 }
 
-// Version counts mutations: it increments on every Add. Consumers caching
-// results derived from a store can compare versions to detect staleness
-// instead of invalidating on every call.
+// AddBatch appends a batch of events, checking the seal threshold once
+// per shard after the whole batch instead of once per event: a shard
+// that receives many batch rows is merged and index-delta'd once,
+// amortizing the per-shard seal work across the batch. This is the
+// preferred ingest path for periodic flushes (e.g. the amppot live
+// pipeline); small flushes simply park in the pending tails, which
+// every query sees.
+func (s *Store) AddBatch(events []Event) {
+	if len(events) == 0 {
+		return
+	}
+	if s.shards == nil {
+		s.shards = make([]shard, numShards)
+	}
+	for i := range events {
+		s.shards[shardOf(events[i].Start)].appendRow(&events[i])
+	}
+	s.length += len(events)
+	s.version += uint64(len(events))
+	for si := range s.shards {
+		if s.shards[si].tail() >= sealTailMax {
+			s.sealShard(si)
+		}
+	}
+}
+
+// Version counts mutations: it increments on every Add (and by the
+// batch size on AddBatch). Consumers caching results derived from a
+// store can compare versions to detect staleness instead of
+// invalidating on every call.
 func (s *Store) Version() uint64 { return s.version }
 
-// ensureSorted sorts any dirty shard (and refreshes its counts). Shards
-// opened from a segment arrive sorted but uncounted; they get a single
-// cheap pass over the key column on first use.
-func (s *Store) ensureSorted() {
+// sealShard merges shard si's pending tail into its sorted body and
+// applies index deltas for the newly sealed rows: countsIndex day/out
+// cells are incremented and by-target references appended for the new
+// rows only. Existing references stay valid — sealing rewrites the
+// order index, never the rows.
+func (s *Store) sealShard(si int) {
+	sh := &s.shards[si]
+	lo := sh.sealed
+	n := sh.rows()
+	if lo == n {
+		return
+	}
+	sh.seal()
+	if s.counts != nil {
+		for i := lo; i < n; i++ {
+			countDelta(s.counts, sh.key[i], sh.start[i], 1)
+		}
+	}
+	if s.targets != nil {
+		for i := lo; i < n; i++ {
+			s.targets[sh.target[i]] = append(s.targets[sh.target[i]], rowRef{int32(si), int32(i)})
+		}
+	}
+}
+
+// countDelta applies one row's contribution to the count index.
+func countDelta(c *countsIndex, key uint16, start int64, by int32) {
+	src, vec := int(key>>8), int(key&0xff)
+	if src >= 2 || vec >= NumVectors {
+		c.unindexed += int(by)
+		return
+	}
+	if d := DayOf(start); d >= 0 && d < WindowDays {
+		c.day[d][src][vec] += by
+	} else {
+		c.out[src][vec] += by
+		c.outTotal += int(by)
+	}
+}
+
+// Seal merges every shard's pending tail into its sorted body and
+// brings the lazy indexes up to date via deltas. Queries that need
+// sorted order (Iter, IterByStart, Fold, Events, the segment writer)
+// seal automatically; counting terminals do not need it and scan the
+// small tails instead.
+func (s *Store) Seal() { s.ensureSealed() }
+
+// ensureSealed seals every shard and refreshes the per-shard counts of
+// segment-opened shards (which arrive sorted but uncounted; they get a
+// single cheap pass over the key column on first use).
+func (s *Store) ensureSealed() {
 	for i := range s.shards {
-		sh := &s.shards[i]
-		if !sh.sorted {
-			sh.sortAndCount()
-		} else if !sh.counted {
+		s.sealShard(i)
+		if sh := &s.shards[i]; !sh.counted {
 			sh.countRows()
 		}
 	}
 }
 
-// ensureCounts builds the per-day count index from the hot columns.
+// ensureCounted refreshes per-shard counts without sealing, for scan
+// paths that tolerate pending tails.
+func (s *Store) ensureCounted() {
+	for i := range s.shards {
+		if sh := &s.shards[i]; !sh.counted {
+			sh.countRows()
+		}
+	}
+}
+
+// pendingRows reports how many appended rows are still in pending
+// tails (not yet covered by the lazy indexes).
+func (s *Store) pendingRows() int {
+	n := 0
+	for i := range s.shards {
+		n += s.shards[i].tail()
+	}
+	return n
+}
+
+// ensureCounts builds the per-day count index over the sealed rows of
+// every shard. Pending tails enter via sealShard deltas, so the index
+// is built from scratch at most once per store lifetime (the rebuilds
+// counter tracks this).
 func (s *Store) ensureCounts() {
 	if s.counts != nil {
 		return
 	}
-	s.ensureSorted()
+	s.rebuilds++
 	c := &countsIndex{day: make([][2][NumVectors]int32, WindowDays)}
 	for si := range s.shards {
 		sh := &s.shards[si]
-		c.unindexed += sh.unindexed
-		for i, k := range sh.key {
-			src, vec := int(k>>8), int(k&0xff)
-			if src >= 2 || vec >= NumVectors {
-				continue
-			}
-			if d := DayOf(sh.start[i]); d >= 0 && d < WindowDays {
-				c.day[d][src][vec]++
-			} else {
-				c.out[src][vec]++
-				c.outTotal++
-			}
+		for i := 0; i < sh.sealed; i++ {
+			countDelta(c, sh.key[i], sh.start[i], 1)
 		}
 	}
 	s.counts = c
 }
 
-// ensureTargets builds the by-target index of (shard, row) handles. The
-// handles stay valid until the next Add.
+// ensureTargets builds the by-target index of (shard, row) handles over
+// the sealed rows of every shard; pending tails enter via sealShard
+// deltas. The handles stay valid for the life of the store.
 func (s *Store) ensureTargets() {
 	if s.targets != nil {
 		return
 	}
-	s.ensureSorted()
+	s.rebuilds++
 	m := make(map[netx.Addr][]rowRef, s.length/2+1)
 	for si := range s.shards {
 		sh := &s.shards[si]
-		for i, t := range sh.target {
-			m[t] = append(m[t], rowRef{int32(si), int32(i)})
+		for i := 0; i < sh.sealed; i++ {
+			m[sh.target[i]] = append(m[sh.target[i]], rowRef{int32(si), int32(i)})
 		}
 	}
 	s.targets = m
 }
 
-// Events returns all events sorted by (Start, Target). The returned
-// events' Ports slices alias store-owned arena memory.
+// Events returns a fresh copy of all events sorted by (Start, Target).
+// The returned slice is the caller's to mutate, but the events' Ports
+// slices still alias store-owned arena memory.
 //
-// Deprecated: Events materializes a full copy of the store on first call
-// after a mutation; use Query with Iter, Count or Fold instead, which
-// push filters down to shard and index pruning. Retained for persistence
-// round-trip tests and external callers not yet migrated.
+// Deprecated: Events materializes a full copy of the store on every
+// call; use Query with Iter, Count or Fold instead, which push filters
+// down to shard and index pruning. Retained for persistence round-trip
+// tests and external callers not yet migrated.
 func (s *Store) Events() []Event {
-	if s.flat == nil {
-		s.ensureSorted()
-		flat := make([]Event, 0, s.length)
-		for i := range s.shards {
-			sh := &s.shards[i]
-			for r := 0; r < sh.rows(); r++ {
-				var e Event
-				sh.view(r, &e)
-				flat = append(flat, e)
-			}
+	s.ensureSealed()
+	flat := make([]Event, 0, s.length)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		for k := 0; k < sh.rows(); k++ {
+			var e Event
+			sh.view(sh.ordRow(k), &e)
+			flat = append(flat, e)
 		}
-		s.flat = flat
 	}
-	return s.flat
+	return flat
 }
 
 // Len returns the number of events.
@@ -193,10 +307,11 @@ func (s *Store) ByTarget() map[netx.Addr][]int {
 }
 
 // UniqueTargets returns the number of distinct target addresses. It
-// reuses the by-target index when already built but does not force it:
-// counting needs only the target column, not per-event handle slices.
+// reuses the by-target index when that index covers every row, but does
+// not force it: counting needs only the target column, not per-event
+// handle slices.
 func (s *Store) UniqueTargets() int {
-	if s.targets != nil {
+	if s.targets != nil && s.pendingRows() == 0 {
 		return len(s.targets)
 	}
 	seen := make(map[netx.Addr]struct{}, s.length/2+1)
@@ -318,11 +433,16 @@ func ReadCSV(r io.Reader) (*Store, error) {
 			str := rec[9]
 			for i := 0; i <= len(str); i++ {
 				if i == len(str) || str[i] == ';' {
-					p, err := strconv.ParseUint(str[start:i], 10, 16)
-					if err != nil {
-						return nil, fmt.Errorf("attack: line %d: ports: %w", line, err)
+					// Skip empty tokens so trailing or doubled
+					// separators ("80;", "80;;443") round-trip instead
+					// of failing with a bare strconv error.
+					if i > start {
+						p, err := strconv.ParseUint(str[start:i], 10, 16)
+						if err != nil {
+							return nil, fmt.Errorf("attack: line %d: ports: %w", line, err)
+						}
+						e.Ports = append(e.Ports, uint16(p))
 					}
-					e.Ports = append(e.Ports, uint16(p))
 					start = i + 1
 				}
 			}
@@ -339,10 +459,19 @@ const binMagic = "DOSEVT01"
 // maxEvents bounds the event counts a codec will accept from a header.
 const maxEvents = 1 << 30
 
+// maxBinPorts is DOSEVT01's per-record port-list limit: the record
+// stores the count in one byte. WriteBinary clamps longer lists (which
+// can only arise via Add with hand-built events; the sensor pipelines
+// cap at MaxTrackedPorts) so the stream stays parseable instead of
+// wrapping mod 256 and desynchronizing every following record.
+const maxBinPorts = 255
+
 // WriteBinary writes the compact fixed-record DOSEVT01 encoding, roughly
-// 5x smaller and 20x faster to load than CSV. For bulk captures prefer
-// WriteSegment (DOSEVT02), whose column-oriented layout a reader can mmap
-// and serve without decoding.
+// 5x smaller and 20x faster to load than CSV. Port lists longer than
+// maxBinPorts are truncated to the format limit; use WriteSegment
+// (DOSEVT02) for lossless persistence of oversized lists — its
+// column-oriented layout a reader can also mmap and serve without
+// decoding.
 func (s *Store) WriteBinary(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(binMagic); err != nil {
@@ -355,10 +484,14 @@ func (s *Store) WriteBinary(w io.Writer) error {
 	}
 	var werr error
 	for e := range s.Query().Iter() {
+		nPorts := len(e.Ports)
+		if nPorts > maxBinPorts {
+			nPorts = maxBinPorts
+		}
 		var rec [56]byte
 		rec[0] = byte(e.Source)
 		rec[1] = byte(e.Vector)
-		rec[2] = byte(len(e.Ports))
+		rec[2] = byte(nPorts)
 		binary.LittleEndian.PutUint32(rec[4:8], uint32(e.Target))
 		binary.LittleEndian.PutUint64(rec[8:16], uint64(e.Start))
 		binary.LittleEndian.PutUint64(rec[16:24], uint64(e.End))
@@ -369,7 +502,7 @@ func (s *Store) WriteBinary(w io.Writer) error {
 		if _, werr = bw.Write(rec[:]); werr != nil {
 			return werr
 		}
-		for _, p := range e.Ports {
+		for _, p := range e.Ports[:nPorts] {
 			binary.LittleEndian.PutUint16(scratch[:2], p)
 			if _, werr = bw.Write(scratch[:2]); werr != nil {
 				return werr
@@ -399,7 +532,7 @@ func ReadBinary(r io.Reader) (*Store, error) {
 		return nil, fmt.Errorf("attack: implausible event count %d", n)
 	}
 	s := &Store{}
-	var portBuf [2 * 255]byte // record port count is one byte
+	var portBuf [2 * maxBinPorts]byte // record port count is one byte
 	for i := uint64(0); i < n; i++ {
 		var rec [56]byte
 		if _, err := io.ReadFull(br, rec[:]); err != nil {

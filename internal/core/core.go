@@ -33,9 +33,12 @@ type Dataset struct {
 
 	// lazily computed caches, memoized behind the attack stores' version
 	// counters: refreshCaches drops them when either store has been
-	// mutated (Store.Version counts Adds) since they were built, so
-	// chained analyses (Figure5/Figure6/Figure7 in one run) reuse the
-	// web join and intensity stats while live ingest stays correct.
+	// mutated (Store.Version counts Add and AddBatch mutations) since
+	// they were built, so chained analyses (Figure5/Figure6/Figure7 in
+	// one run) reuse the web join and intensity stats while live ingest
+	// stays correct. Version bumps are cheap on the store side — Add no
+	// longer invalidates its own indexes — so checking here per call
+	// costs two loads.
 	rev        *openintel.ReverseIndex
 	telVer     uint64
 	hpVer      uint64

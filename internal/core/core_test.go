@@ -579,3 +579,35 @@ func TestWebJoinMemoizedPerStoreVersion(t *testing.T) {
 		t.Fatal("web join recomputed again without a further mutation")
 	}
 }
+
+// TestCachesInvalidateOnAddBatch checks that the batched live-ingest
+// path (the amppot periodic flush) bumps the store version like
+// event-at-a-time Add, so the Dataset's memoized intermediates are
+// recomputed after a flush instead of serving stale results.
+func TestCachesInvalidateOnAddBatch(t *testing.T) {
+	sc, err := dossim.Generate(dossim.Config{Seed: 6, Scale: 0.0003})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := New(sc.Telescope, sc.Honeypot, sc.Plan, sc.History, sc.Cfg.WindowDays)
+
+	j1 := ds.webJoinResult()
+	target := sc.Honeypot.Events()[0].Target
+	ds.Honeypot.AddBatch([]attack.Event{
+		{
+			Source: attack.SourceHoneypot, Vector: attack.VectorNTP,
+			Target: target,
+			Start:  attack.WindowStart + 3600, End: attack.WindowStart + 7200,
+			AvgRPS: 1,
+		},
+		{
+			Source: attack.SourceHoneypot, Vector: attack.VectorDNS,
+			Target: target,
+			Start:  attack.WindowStart + 9000, End: attack.WindowStart + 9600,
+			AvgRPS: 2,
+		},
+	})
+	if ds.webJoinResult() == j1 {
+		t.Fatal("web join not recomputed after Store.AddBatch bumped the version")
+	}
+}
