@@ -8,9 +8,9 @@ GO        ?= go
 # recording BENCH_<n>.json numbers meant for comparison.
 BENCHTIME ?= 1x
 # The benchmark families whose ns/op the perf-trajectory record tracks.
-BENCH_RECORD ?= BenchmarkAgg|BenchmarkColumnarScan|BenchmarkSegmentOpen|BenchmarkLiveIngest
+BENCH_RECORD ?= BenchmarkAgg|BenchmarkColumnarScan|BenchmarkSegmentOpen|BenchmarkLiveIngest|BenchmarkFederated
 
-.PHONY: build vet test race bench clean
+.PHONY: build vet test race bench docs clean
 
 build:
 	$(GO) build ./...
@@ -27,12 +27,22 @@ race:
 	$(GO) test -race ./...
 
 # bench runs every benchmark in the module once as a smoke check and
-# records the query/columnar/segment/live-ingest suites' ns/op into
-# BENCH_3.json.
+# records the query/columnar/segment/live-ingest/federation suites'
+# ns/op into BENCH_4.json.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) ./... | tee bench.out
-	$(GO) run ./cmd/benchjson -match '$(BENCH_RECORD)' < bench.out > BENCH_3.json
+	$(GO) run ./cmd/benchjson -match '$(BENCH_RECORD)' < bench.out > BENCH_4.json
 	rm -f bench.out
+
+# docs keeps the documentation honest: the examples must build, the
+# godoc Example* snippets must run, and neither README nor docs/ may
+# demonstrate the deprecated snippet-style Events()/ByTarget() API.
+docs:
+	$(GO) build ./examples/...
+	$(GO) test -run Example ./internal/attack ./internal/federation
+	@if grep -RnE '(st|store)\.(Events|ByTarget)\(\)' README.md docs/; then \
+		echo "docs reference the deprecated Events()/ByTarget() API"; exit 1; fi
+	@echo "docs ok"
 
 clean:
 	rm -f bench.out

@@ -7,7 +7,7 @@
 //
 //	amppot [-listen 127.0.0.1] [-protocols NTP,DNS,CharGen] [-base-port 0]
 //	       [-duration 0] [-min-requests 100] [-gap 1h] [-flush 30s]
-//	       [-out file]
+//	       [-serve addr] [-out file]
 //
 // Extraction is live: every -flush interval the fleet drains completed
 // attack events into the capture store and a status line with
@@ -15,6 +15,14 @@
 // each batch as pending-tail appends plus index deltas, so querying it
 // between flushes never re-sorts or recounts the capture. -flush 0
 // disables the live path and extracts everything once at shutdown.
+//
+// -serve exposes the live capture store as a federation site on the
+// given address (host:port, or a unix socket path) speaking the DOSFED01
+// protocol: remote clients (federation.RemoteStore, doscope -federate)
+// run counting queries against the store between flushes — answered
+// from its delta-maintained indexes under the flush lock, shipping
+// index partials rather than events — or fetch the capture as a
+// DOSEVT02 segment. See docs/FORMATS.md for the wire format.
 //
 // -out selects the capture sink by extension: .seg writes the mmap-able
 // DOSEVT02 segment format, .bin the DOSEVT01 record stream, anything
@@ -38,6 +46,7 @@ import (
 
 	"doscope/internal/amppot"
 	"doscope/internal/attack"
+	"doscope/internal/federation"
 )
 
 func main() {
@@ -49,6 +58,7 @@ func main() {
 		minReq     = flag.Uint64("min-requests", 100, "attack event threshold (requests)")
 		gap        = flag.Duration("gap", time.Hour, "idle gap splitting request streams into separate events")
 		flushEvery = flag.Duration("flush", 30*time.Second, "drain completed events into the live store this often (0 = only at shutdown)")
+		serveAddr  = flag.String("serve", "", "expose the live store to federation clients on this address (host:port or unix socket path)")
 		out        = flag.String("out", "", "write events to this file instead of stdout CSV (.seg = DOSEVT02 segment, .bin = DOSEVT01, otherwise CSV)")
 	)
 	flag.Parse()
@@ -99,6 +109,26 @@ func main() {
 		storeMu sync.Mutex
 		store   = &attack.Store{}
 	)
+	// -serve makes this process a federation site: the server executes
+	// each shipped plan against the live store under the same mutex the
+	// flush ticker takes, so remote counting queries interleave safely
+	// with ingest.
+	var fedListener net.Listener
+	if *serveAddr != "" {
+		l, err := federation.Listen(*serveAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fedListener = l
+		fmt.Fprintf(os.Stderr, "amppot: federation site on %s\n", l.Addr())
+		srv := federation.NewServer(store, &storeMu)
+		go func() {
+			if err := srv.Serve(l); err != nil {
+				fmt.Fprintln(os.Stderr, "amppot: federation:", err)
+			}
+		}()
+	}
+
 	done := make(chan struct{})
 	var flushWG sync.WaitGroup
 	if *flushEvery > 0 {
@@ -141,9 +171,16 @@ func main() {
 	for _, c := range conns {
 		c.Close()
 	}
+	if fedListener != nil {
+		fedListener.Close()
+	}
 	close(done)
 	flushWG.Wait()
 
+	// In-flight federation handlers may still hold the lock; the final
+	// flush takes it too so the capture never mutates under a query.
+	storeMu.Lock()
+	defer storeMu.Unlock()
 	fleet.FlushTo(store)
 	fmt.Fprintf(os.Stderr, "amppot: %d attack events\n", store.Len())
 	counts := store.Query().CountByVector()

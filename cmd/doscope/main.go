@@ -6,12 +6,19 @@
 // Usage:
 //
 //	doscope [-scale 0.001] [-seed 42] [-packet-level] [-save-events dir]
-//	        [-load-events dir] [-section all]
+//	        [-load-events dir] [-federate host:port,...] [-section all]
 //
 // -scale 0.001 reproduces the paper at 1/1000 (≈21k attack events, 210k
 // Web sites) in a few seconds. -packet-level synthesizes raw backscatter
 // and reflection traffic and classifies it with the real telescope and
 // honeypot code paths (use scales <= 0.00005).
+//
+// -federate skips generation entirely and aggregates remote federation
+// sites (e.g. amppot -serve instances) into one macroscopic view: the
+// listed sites are queried over the DOSFED01 protocol with counting
+// plans — index partials cross the wire, never events — and the merged
+// per-vector and per-day aggregates are printed Figure-1 style. Site
+// addresses are host:port pairs or unix socket paths.
 //
 // -save-events writes telescope.seg / honeypot.seg in the mmap-able
 // DOSEVT02 segment format, the scenario cache for bulk captures;
@@ -27,12 +34,15 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"doscope/internal/attack"
 	"doscope/internal/core"
 	"doscope/internal/dossim"
+	"doscope/internal/federation"
 	"doscope/internal/report"
 )
 
@@ -43,9 +53,18 @@ func main() {
 		packetLevel = flag.Bool("packet-level", false, "synthesize raw packets and run the real classifiers (slow; use small scales)")
 		saveEvents  = flag.String("save-events", "", "directory to write telescope.seg / honeypot.seg DOSEVT02 event segments")
 		loadEvents  = flag.String("load-events", "", "directory to serve the attack stores from (telescope/honeypot .seg mmap'd, .bin decoded); use the -scale/-seed the cache was saved with")
+		federate    = flag.String("federate", "", "comma-separated federation site addresses to aggregate instead of generating a scenario")
 		section     = flag.String("section", "all", "report section: all, tables, figures, joint, web")
 	)
 	flag.Parse()
+
+	if *federate != "" {
+		if err := federated(os.Stdout, strings.Split(*federate, ",")); err != nil {
+			fmt.Fprintln(os.Stderr, "doscope:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := dossim.Config{
 		Seed:        *seed,
@@ -121,6 +140,78 @@ func main() {
 		fmt.Fprintf(os.Stderr, "doscope: unknown section %q\n", *section)
 		os.Exit(2)
 	}
+}
+
+// federated aggregates the listed sites' attack stores into one
+// ecosystem-wide summary — the paper's macroscopic join, but across
+// processes: every number below comes back as an index partial over the
+// DOSFED01 wire, merged client-side; no event leaves a site.
+func federated(w io.Writer, addrs []string) error {
+	var backends []attack.Queryable
+	var remotes []*federation.RemoteStore
+	for _, addr := range addrs {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		r := federation.Dial(addr)
+		defer r.Close()
+		remotes = append(remotes, r)
+		backends = append(backends, r)
+	}
+	if len(backends) == 0 {
+		return fmt.Errorf("-federate: no site addresses")
+	}
+	fed := attack.QueryBackends(backends...)
+	// Per-site count partials, summed client-side: the per-site lines
+	// (the vantage-point split the paper's Table 1 rows show) and the
+	// header total come from the same snapshot, so they always agree
+	// even while sites are still ingesting.
+	perSite := make([]int, len(remotes))
+	total := 0
+	for i, r := range remotes {
+		n, err := r.PlanCount(attack.PlanAll())
+		if err != nil {
+			return err
+		}
+		perSite[i], total = n, total+n
+	}
+	perVec, err := fed.CountByVector()
+	if err != nil {
+		return err
+	}
+	perDay, err := fed.CountByDay()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "federated aggregate over %d sites: %d events\n", len(remotes), total)
+	for i, r := range remotes {
+		fmt.Fprintf(w, "  site %-24s %d events\n", r.Addr(), perSite[i])
+	}
+	fmt.Fprintln(w, "per vector:")
+	for v := 0; v < attack.NumVectors; v++ {
+		if perVec[v] > 0 {
+			fmt.Fprintf(w, "  %-8s %d\n", attack.Vector(v), perVec[v])
+		}
+	}
+	active, peakDay, peakN := 0, 0, 0
+	for d, n := range perDay {
+		if n > 0 {
+			active++
+		}
+		if n > peakN {
+			peakDay, peakN = d, n
+		}
+	}
+	fmt.Fprintf(w, "daily series: %d active days, peak %d events on %s\n",
+		active, peakN, attack.Date(attack.DayStart(peakDay)).Format("2006-01-02"))
+	var sent, recv uint64
+	for _, r := range remotes {
+		s, v := r.WireBytes()
+		sent, recv = sent+s, recv+v
+	}
+	fmt.Fprintf(w, "wire: %d bytes sent, %d received (index partials only)\n", sent, recv)
+	return nil
 }
 
 func save(sc *dossim.Scenario, dir string) error {

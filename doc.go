@@ -71,9 +71,32 @@
 // columns written verbatim as aligned per-shard blocks plus a footer of
 // offsets, which a reader mmaps and serves a Store from directly —
 // opening a multi-GB capture in O(1) time and memory. OpenEventsFile
-// detects either codec by magic. See the README for the exact block
-// layout, and attack/segment.go for the reference.
+// detects either codec by magic. docs/FORMATS.md specifies every layout
+// byte-for-byte.
 //
-// Start with the README, run `go run ./examples/quickstart`, or regenerate
-// the full evaluation with `go test -bench=. .` or `go run ./cmd/doscope`.
+// # Federation
+//
+// internal/federation extends the query plane across processes, the
+// paper's join of independent vantage points: a Server exposes a site's
+// store (including a live amppot capture, via cmd/amppot -serve) over
+// the DOSFED01 frame protocol, and RemoteStore satisfies the narrow
+// attack.Queryable contract, so attack.QueryBackends plans mix local
+// stores and remote sites:
+//
+//	n, err := attack.QueryBackends(localStore, federation.Dial("site:9041")).
+//		Vectors(attack.VectorNTP).
+//		Count()
+//
+// Query filters compile to a portable attack.Plan (20 bytes on the
+// wire); counting terminals come back as fixed-size index partials —
+// O(index cells), never O(events) — merged deterministically in backend
+// order, and iteration terminals fetch matching events as DOSEVT02
+// segments opened zero-copy. cmd/doscope -federate aggregates sites
+// from the command line; examples/federation is a runnable two-site
+// walkthrough.
+//
+// Start with the README and the canonical references under docs/
+// (ARCHITECTURE.md, FORMATS.md), run `go run ./examples/quickstart`, or
+// regenerate the full evaluation with `go test -bench=. .` or
+// `go run ./cmd/doscope`.
 package doscope

@@ -48,6 +48,7 @@ type Source uint8
 const (
 	SourceTelescope Source = iota
 	SourceHoneypot
+	NumSources = int(SourceHoneypot) + 1
 )
 
 // String names the sensor.

@@ -1,0 +1,183 @@
+package attack
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"doscope/internal/netx"
+)
+
+// TestPlanRoundTrip compiles every (serializable) query-case filter to a
+// Plan, pushes it through the binary codec, and checks the decoded plan
+// is identical and executes identically.
+func TestPlanRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	s := NewStore(randomEvents(rng, 2000))
+	for _, tc := range queryCases() {
+		if tc.name == "where" {
+			continue
+		}
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := tc.build(s.Query()).Plan()
+			if err != nil {
+				t.Fatalf("Plan: %v", err)
+			}
+			dec, err := DecodePlan(p.AppendBinary(nil))
+			if err != nil {
+				t.Fatalf("DecodePlan: %v", err)
+			}
+			if dec != p {
+				t.Fatalf("round trip changed the plan:\n got %+v\nwant %+v", dec, p)
+			}
+			want := tc.build(s.Query()).Count()
+			if got := dec.Query(s).Count(); got != want {
+				t.Errorf("decoded plan Count = %d, want %d", got, want)
+			}
+			if got, want := dec.Query(s).Events(), tc.build(s.Query()).Events(); !reflect.DeepEqual(got, want) {
+				t.Errorf("decoded plan Events mismatch: %d vs %d", len(got), len(want))
+			}
+		})
+	}
+}
+
+// TestPlanRejectsPredicate: Where predicates are arbitrary Go functions
+// and must refuse to compile to a wire plan.
+func TestPlanRejectsPredicate(t *testing.T) {
+	q := (&Store{}).Query().Where(func(*Event) bool { return true })
+	if _, err := q.Plan(); err == nil {
+		t.Fatal("Plan() accepted a predicate-filtered query")
+	}
+}
+
+// TestDecodePlanRejectsCorrupt mirrors the segment reader's posture:
+// every out-of-domain field in a received plan is an error, not a
+// silently different query.
+func TestDecodePlanRejectsCorrupt(t *testing.T) {
+	base := func() []byte {
+		p := Plan{Source: 1, VecMask: 1 << VectorNTP, HasDays: true, DayLo: 3, DayHi: 9,
+			HasPrefix: true, PrefixBits: 24, Prefix: netx.AddrFrom4(203, 0, 113, 0)}
+		return p.AppendBinary(nil)
+	}
+	if _, err := DecodePlan(base()); err != nil {
+		t.Fatalf("baseline plan rejected: %v", err)
+	}
+	cases := []struct {
+		name    string
+		corrupt func(b []byte) []byte
+	}{
+		{"short", func(b []byte) []byte { return b[:PlanSize-1] }},
+		{"long", func(b []byte) []byte { return append(b, 0) }},
+		{"bad-source", func(b []byte) []byte { b[0] = 7; return b }},
+		{"unknown-flag", func(b []byte) []byte { b[1] |= 0x80; return b }},
+		{"reserved", func(b []byte) []byte { b[3] = 1; return b }},
+		{"vecmask-overflow", func(b []byte) []byte { b[7] = 0xff; return b }},
+		{"prefix-bits", func(b []byte) []byte { b[2] = 33; return b }},
+		{"prefix-unmasked", func(b []byte) []byte { b[2] = 8; return b }},
+		{"days-without-flag", func(b []byte) []byte { b[1] &^= planHasDays; return b }},
+		{"prefix-without-flag", func(b []byte) []byte { b[1] &^= planHasPrefix; return b }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := DecodePlan(tc.corrupt(base())); err == nil {
+				t.Fatal("corrupt plan decoded without error")
+			}
+		})
+	}
+}
+
+// TestQueryBackendsLocal checks the federated fan-out against the
+// in-process QueryStores path with local stores as the backends — the
+// degenerate federation every remote test builds on.
+func TestQueryBackendsLocal(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	events := randomEvents(rng, 3000)
+	a, b := NewStore(events[:1700]), NewStore(events[1700:])
+	combined := NewStore(events)
+
+	for _, tc := range queryCases() {
+		if tc.name == "where" {
+			continue
+		}
+		t.Run(tc.name, func(t *testing.T) {
+			plan, err := tc.build(QueryStores(a, b)).Plan()
+			if err != nil {
+				t.Fatal(err)
+			}
+			fed := QueryPlan(plan, a, b)
+
+			n, err := fed.Count()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := tc.build(combined.Query()).Count(); n != want {
+				t.Errorf("Count = %d, want %d", n, want)
+			}
+			perVec, err := fed.CountByVector()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := tc.build(combined.Query()).CountByVector(); perVec != want {
+				t.Errorf("CountByVector = %v, want %v", perVec, want)
+			}
+			perDay, err := fed.CountByDay()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := tc.build(combined.Query()).CountByDay(); !reflect.DeepEqual(perDay, want) {
+				t.Error("CountByDay mismatch")
+			}
+			got, err := fed.Events()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := tc.build(QueryStores(a, b)).Events()
+			if len(got) == 0 && len(want) == 0 {
+				return
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("Events: %d events, want %d", len(got), len(want))
+			}
+		})
+	}
+}
+
+// TestFedQueryBuilderCompilesLikeQuery: the FedQuery builder methods and
+// the Query builder must compile to the same plan for the same chain.
+func TestFedQueryBuilderCompilesLikeQuery(t *testing.T) {
+	prefix := netx.AddrFrom4(203, 1, 2, 3)
+	qp, err := (&Store{}).Query().
+		Source(SourceHoneypot).Vectors(VectorNTP, VectorDNS).Days(5, 40).TargetPrefix(prefix, 20).Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := QueryBackends().
+		Source(SourceHoneypot).Vectors(VectorNTP, VectorDNS).Days(5, 40).TargetPrefix(prefix, 20).Plan()
+	if qp != fp {
+		t.Fatalf("builder plans differ:\nQuery    %+v\nFedQuery %+v", qp, fp)
+	}
+	if qt, ft := (&Store{}).Query().Target(prefix), QueryBackends().Target(prefix); true {
+		qtp, _ := qt.Plan()
+		if qtp != ft.Plan() {
+			t.Fatal("Target plans differ")
+		}
+	}
+}
+
+// TestCollect: the materialized sub-store is independent of its source
+// (ports included) and query-equivalent to the filter it captured.
+func TestCollect(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	src := NewStore(randomEvents(rng, 1000))
+	sub := src.Query().Source(SourceTelescope).Collect()
+	want := src.Query().Source(SourceTelescope).Events()
+	if got := sub.Events(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Collect store has %d events, want %d", len(got), len(want))
+	}
+	// Mutating the source after Collect must not affect the copy.
+	src.Add(Event{Source: SourceTelescope, Vector: VectorTCP, Start: WindowStart + 86400,
+		Target: netx.AddrFrom4(198, 51, 100, 1), Ports: []uint16{80}})
+	if got := sub.Query().Count(); got != len(want) {
+		t.Fatalf("Collect store changed after source mutation: %d, want %d", got, len(want))
+	}
+}

@@ -14,8 +14,11 @@ import (
 // Query is a composable filter over one or more stores. Builder methods
 // narrow the selection and return the receiver for chaining; terminal
 // operations (Iter, IterByStart, Count, CountByVector, CountByDay,
-// GroupByTarget, Events, and the package-level Fold) execute it, pushing
-// filters down to shard and index pruning instead of full scans.
+// GroupByTarget, Events, Collect, and the package-level Fold) execute
+// it, pushing filters down to shard and index pruning instead of full
+// scans. Plan compiles the filters (minus Where predicates) to a
+// portable form that federation ships to remote sites; QueryBackends
+// runs the same shapes across any mix of local and remote backends.
 //
 // Execution is columnar: the source, vector, day, and target-prefix
 // filters are tested against the hot shard columns (~14 bytes per event)
@@ -423,9 +426,11 @@ func (q *Query) Events() []Event {
 }
 
 // GroupByTarget collects matching events per target address, per target
-// in Iter order. Each slice entry is a private copy (its Ports still
-// alias store arena memory), so the pointers stay stable and distinct
-// after the call, matching the pre-columnar contract.
+// in Iter order. Unlike the per-iteration scratch *Event that Iter,
+// IterByStart and Fold yield (valid only until the next yield), each
+// slice entry here is a private copy (its Ports still alias store arena
+// memory), so the pointers stay stable and distinct after the call —
+// safe to retain without the copy discipline scratch views require.
 func (q *Query) GroupByTarget() map[netx.Addr][]*Event {
 	out := make(map[netx.Addr][]*Event)
 	for e := range q.Iter() {

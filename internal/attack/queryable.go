@@ -1,0 +1,273 @@
+package attack
+
+import (
+	"errors"
+	"io"
+	"iter"
+	"sync"
+
+	"doscope/internal/netx"
+)
+
+// Queryable is the narrow backend contract federated query plans execute
+// against: a local *Store satisfies it directly, and
+// federation.RemoteStore satisfies it by shipping the plan to a sensor
+// site over the DOSFED01 protocol. Counting terminals return index
+// partials (no events cross the backend boundary); PlanStore returns the
+// matching events as an ordinary store, which for remote backends is a
+// DOSEVT02 segment opened zero-copy from the received bytes.
+type Queryable interface {
+	// PlanCount executes the plan's Count terminal.
+	PlanCount(p Plan) (int, error)
+	// PlanCountByVector executes the plan's CountByVector terminal.
+	PlanCountByVector(p Plan) ([NumVectors]int, error)
+	// PlanCountByDay executes the plan's CountByDay terminal (length
+	// WindowDays).
+	PlanCountByDay(p Plan) ([]int, error)
+	// PlanStore materializes the plan's matching events as a queryable
+	// Store. The closer releases any backing mapping or buffer and must
+	// be closed only once the store is no longer in use. Backends may
+	// return a superset of the plan's matches (a local store returns
+	// itself unfiltered); callers re-apply the plan when iterating.
+	PlanStore(p Plan) (*Store, io.Closer, error)
+}
+
+// Local *Store backends execute plans in process and never fail.
+var _ Queryable = (*Store)(nil)
+
+// PlanCount executes the plan's Count terminal against this store.
+func (s *Store) PlanCount(p Plan) (int, error) { return p.Query(s).Count(), nil }
+
+// PlanCountByVector executes the plan's CountByVector terminal against
+// this store.
+func (s *Store) PlanCountByVector(p Plan) ([NumVectors]int, error) {
+	return p.Query(s).CountByVector(), nil
+}
+
+// PlanCountByDay executes the plan's CountByDay terminal against this
+// store.
+func (s *Store) PlanCountByDay(p Plan) ([]int, error) {
+	return p.Query(s).CountByDay(), nil
+}
+
+// PlanStore returns the store itself: local backends need not
+// materialize a filtered copy, since federated iteration re-applies the
+// plan's filters.
+func (s *Store) PlanStore(Plan) (*Store, io.Closer, error) { return s, nopCloser, nil }
+
+// Collect materializes the matching events into a fresh, independent
+// store: every field (including the port lists, which are copied into
+// the new store's arenas) is detached from the source stores. This is
+// what a federation site ships for iteration terminals — the matching
+// subset of its store, re-encoded as a DOSEVT02 segment.
+func (q *Query) Collect() *Store {
+	out := &Store{}
+	for e := range q.Iter() {
+		out.Add(*e)
+	}
+	return out
+}
+
+// FedQuery is a Query-shaped plan over a mix of Queryable backends —
+// local stores and federation.RemoteStore sites in any combination. The
+// builder methods mirror Query's; terminals fan the compiled Plan out to
+// every backend concurrently and merge the partials in backend argument
+// order (the same deterministic merge discipline Fold uses for its
+// shard partials), so results are independent of scheduling.
+//
+// Unlike Query, a FedQuery is reusable: terminals do not consume it, and
+// remote backends hold no per-query state.
+type FedQuery struct {
+	backends []Queryable
+	plan     Plan
+}
+
+// QueryBackends starts a federated query over the given backends.
+func QueryBackends(backends ...Queryable) *FedQuery {
+	return &FedQuery{backends: backends, plan: PlanAll()}
+}
+
+// QueryPlan starts a federated query from an already-compiled plan.
+func QueryPlan(p Plan, backends ...Queryable) *FedQuery {
+	return &FedQuery{backends: backends, plan: p}
+}
+
+// Source keeps only events observed by the given sensor.
+func (f *FedQuery) Source(src Source) *FedQuery { f.plan.Source = int8(src); return f }
+
+// Vectors keeps only events with one of the given attack vectors.
+func (f *FedQuery) Vectors(vs ...Vector) *FedQuery {
+	for _, v := range vs {
+		f.plan.VecMask |= 1 << v
+	}
+	return f
+}
+
+// Days keeps only events whose start day index lies in [lo, hi].
+func (f *FedQuery) Days(lo, hi int) *FedQuery {
+	f.plan.HasDays, f.plan.DayLo, f.plan.DayHi = true, int32(lo), int32(hi)
+	return f
+}
+
+// Target keeps only events aimed at exactly this address.
+func (f *FedQuery) Target(a netx.Addr) *FedQuery { return f.TargetPrefix(a, 32) }
+
+// TargetPrefix keeps only events whose target falls inside a/bits.
+func (f *FedQuery) TargetPrefix(a netx.Addr, bits int) *FedQuery {
+	f.plan.HasPrefix, f.plan.PrefixBits, f.plan.Prefix = true, uint8(bits), a.Mask(bits)
+	return f
+}
+
+// Plan returns the compiled plan the terminals ship to each backend.
+func (f *FedQuery) Plan() Plan { return f.plan }
+
+// fanOut executes exec against every backend concurrently and returns
+// the partials in backend argument order. Errors from all backends are
+// joined, so one unreachable site reports alongside the others instead
+// of masking them.
+func fanOut[T any](f *FedQuery, exec func(Queryable) (T, error)) ([]T, error) {
+	partials := make([]T, len(f.backends))
+	errs := make([]error, len(f.backends))
+	var wg sync.WaitGroup
+	for i, b := range f.backends {
+		wg.Add(1)
+		go func(i int, b Queryable) {
+			defer wg.Done()
+			partials[i], errs[i] = exec(b)
+		}(i, b)
+	}
+	wg.Wait()
+	return partials, errors.Join(errs...)
+}
+
+// Count returns the number of matching events across all backends.
+// Only count partials cross backend boundaries, never events.
+func (f *FedQuery) Count() (int, error) {
+	partials, err := fanOut(f, func(b Queryable) (int, error) { return b.PlanCount(f.plan) })
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, p := range partials {
+		n += p
+	}
+	return n, nil
+}
+
+// CountByVector returns matching event counts per attack vector across
+// all backends, merged element-wise in backend order.
+func (f *FedQuery) CountByVector() ([NumVectors]int, error) {
+	var out [NumVectors]int
+	partials, err := fanOut(f, func(b Queryable) ([NumVectors]int, error) {
+		return b.PlanCountByVector(f.plan)
+	})
+	if err != nil {
+		return out, err
+	}
+	for _, p := range partials {
+		for v := range p {
+			out[v] += p[v]
+		}
+	}
+	return out, nil
+}
+
+// CountByDay returns matching in-window event counts per start day
+// (length WindowDays) across all backends, merged element-wise in
+// backend order.
+func (f *FedQuery) CountByDay() ([]int, error) {
+	partials, err := fanOut(f, func(b Queryable) ([]int, error) { return b.PlanCountByDay(f.plan) })
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, WindowDays)
+	for _, p := range partials {
+		for d, n := range p {
+			out[d] += n
+		}
+	}
+	return out, nil
+}
+
+// multiCloser closes a set of per-backend closers, joining errors.
+type multiCloser []io.Closer
+
+func (m multiCloser) Close() error {
+	var errs []error
+	for _, c := range m {
+		if c != nil {
+			errs = append(errs, c.Close())
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Stores fetches each backend's matching events as a store partial, in
+// backend argument order. Remote partials are DOSEVT02 segments opened
+// zero-copy from the received bytes; local backends contribute their
+// store as-is. The closer releases every partial's backing memory and
+// must outlive the stores and any Event views derived from them.
+func (f *FedQuery) Stores() ([]*Store, io.Closer, error) {
+	type part struct {
+		st *Store
+		c  io.Closer
+	}
+	partials, err := fanOut(f, func(b Queryable) (part, error) {
+		st, c, err := b.PlanStore(f.plan)
+		return part{st, c}, err
+	})
+	closers := make(multiCloser, 0, len(partials))
+	stores := make([]*Store, 0, len(partials))
+	for _, p := range partials {
+		if p.st != nil {
+			stores = append(stores, p.st)
+		}
+		if p.c != nil {
+			closers = append(closers, p.c)
+		}
+	}
+	if err != nil {
+		closers.Close()
+		return nil, nil, err
+	}
+	return stores, closers, nil
+}
+
+// Iter yields matching events backend by backend, each partial in
+// (Start, Target) order — the federated counterpart of Query.Iter, with
+// the same per-iteration scratch *Event contract. The returned closer
+// releases the fetched partials; close it only after iteration.
+func (f *FedQuery) Iter() (iter.Seq[*Event], io.Closer, error) {
+	stores, c, err := f.Stores()
+	if err != nil {
+		return nil, nil, err
+	}
+	return f.plan.Query(stores...).Iter(), c, nil
+}
+
+// IterByStart yields matching events from all backends merged by start
+// time, the federated counterpart of Query.IterByStart.
+func (f *FedQuery) IterByStart() (iter.Seq[*Event], io.Closer, error) {
+	stores, c, err := f.Stores()
+	if err != nil {
+		return nil, nil, err
+	}
+	return f.plan.Query(stores...).IterByStart(), c, nil
+}
+
+// Events materializes the matching events (independent copies, ports
+// included) in federated Iter order.
+func (f *FedQuery) Events() ([]Event, error) {
+	it, c, err := f.Iter()
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	var out []Event
+	for e := range it {
+		ev := *e
+		ev.Ports = append([]uint16(nil), e.Ports...)
+		out = append(out, ev)
+	}
+	return out, nil
+}

@@ -293,7 +293,8 @@ func (s *Store) Events() []Event {
 // Len returns the number of events.
 func (s *Store) Len() int { return s.length }
 
-// ByTarget groups event indices (into Events()) by target address.
+// ByTarget groups event indices (positions in the slice the deprecated
+// Events method returns) by target address.
 //
 // Deprecated: use Query().GroupByTarget, which returns event copies
 // without materializing the flat slice.

@@ -1,0 +1,85 @@
+package federation
+
+import (
+	"math/rand"
+	"net"
+	"testing"
+
+	"doscope/internal/attack"
+)
+
+// benchSite serves a store of n random events on loopback and returns
+// a client; the same store is returned for local baselines.
+func benchSite(b *testing.B, n int) (*RemoteStore, *attack.Store) {
+	b.Helper()
+	st := attack.NewStore(randomEvents(rand.New(rand.NewSource(71)), n))
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { l.Close() })
+	go NewServer(st, nil).Serve(l)
+	r := Dial(l.Addr().String())
+	b.Cleanup(func() { r.Close() })
+	return r, st
+}
+
+const benchEvents = 20000
+
+// BenchmarkFederatedCount is the index-partial path the federation
+// protocol exists for: a counting plan crosses the wire as 20 bytes and
+// comes back as 8 — per-op cost is one round trip plus an index lookup,
+// independent of the site's event count.
+func BenchmarkFederatedCount(b *testing.B) {
+	r, _ := benchSite(b, benchEvents)
+	fed := attack.QueryBackends(r).Source(attack.SourceHoneypot).Days(0, 364)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fed.Count(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	_, recv := r.WireBytes()
+	b.ReportMetric(float64(recv)/float64(b.N), "wire-B/op")
+}
+
+// BenchmarkFederatedCountSegmentShip is the strawman the counting path
+// is measured against: ship the site's whole capture as a DOSEVT02
+// segment and count client-side. Same answer, O(events) bytes and time.
+func BenchmarkFederatedCountSegmentShip(b *testing.B) {
+	r, _ := benchSite(b, benchEvents)
+	plan := attack.QueryBackends(r).Source(attack.SourceHoneypot).Days(0, 364).Plan()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, closer, err := r.PlanStore(attack.PlanAll())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n := plan.Query(st).Count(); n < 0 {
+			b.Fatal("impossible")
+		}
+		closer.Close()
+	}
+	b.StopTimer()
+	_, recv := r.WireBytes()
+	b.ReportMetric(float64(recv)/float64(b.N), "wire-B/op")
+}
+
+// BenchmarkFederatedFetchOpen measures the iteration-terminal path: a
+// filtered fetch shipped as a segment and opened zero-copy.
+func BenchmarkFederatedFetchOpen(b *testing.B) {
+	r, _ := benchSite(b, benchEvents)
+	plan := attack.QueryBackends(r).Source(attack.SourceHoneypot).Plan()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, closer, err := r.PlanStore(plan)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.Len() == 0 {
+			b.Fatal("empty fetch")
+		}
+		closer.Close()
+	}
+}

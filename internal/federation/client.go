@@ -1,0 +1,292 @@
+package federation
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"doscope/internal/attack"
+)
+
+// RemoteStore is the client side of a federation site: it satisfies
+// attack.Queryable by shipping compiled plans to the site's Server and
+// decoding the partials that come back, so attack.QueryBackends plans
+// treat a remote site exactly like a local store.
+//
+// Counting terminals receive fixed-size index partials; PlanStore
+// receives the matching events as a DOSEVT02 segment and opens it
+// zero-copy over the received bytes (the segment columns alias the
+// buffer the socket filled, no decode pass).
+//
+// Transport policy: one connection is kept and reused across requests.
+// Transport-level failures — dial errors, send errors, a peer that
+// closes or resets before completing a response — are retried with
+// exponential backoff on a fresh connection (requests are stateless
+// reads, so re-sending is safe). Protocol-level failures — a malformed
+// or truncated frame, an unexpected response type, a server-reported
+// error — fail immediately: a corrupt stream cannot be resynchronized,
+// and retrying would mask the corruption.
+//
+// A RemoteStore is safe for concurrent use; requests are serialized on
+// the connection.
+type RemoteStore struct {
+	addr    string
+	network string
+
+	attempts    int
+	backoff     time.Duration
+	dialTimeout time.Duration
+	reqTimeout  time.Duration
+
+	mu   sync.Mutex
+	conn net.Conn
+
+	sent, recv atomic.Uint64
+}
+
+// Option configures a RemoteStore.
+type Option func(*RemoteStore)
+
+// WithAttempts sets how many times a retryable request is tried
+// (default 3, minimum 1).
+func WithAttempts(n int) Option {
+	return func(r *RemoteStore) {
+		if n >= 1 {
+			r.attempts = n
+		}
+	}
+}
+
+// WithBackoff sets the initial retry backoff, doubled per attempt
+// (default 50ms).
+func WithBackoff(d time.Duration) Option {
+	return func(r *RemoteStore) { r.backoff = d }
+}
+
+// WithDialTimeout bounds each dial attempt (default 5s).
+func WithDialTimeout(d time.Duration) Option {
+	return func(r *RemoteStore) { r.dialTimeout = d }
+}
+
+// WithRequestTimeout bounds each request/response exchange (default
+// 60s; 0 disables). Without it a wedged site — accepted connection,
+// no response — would hang a federated query forever, the healthy
+// backends' partials with it.
+func WithRequestTimeout(d time.Duration) Option {
+	return func(r *RemoteStore) { r.reqTimeout = d }
+}
+
+// Dial prepares a client for the site at addr — a host:port pair, or a
+// unix socket path when addr contains a path separator. No connection
+// is opened until the first request, so constructing clients for sites
+// that are still starting up is fine.
+func Dial(addr string, opts ...Option) *RemoteStore {
+	r := &RemoteStore{
+		addr:        addr,
+		network:     netKind(addr),
+		attempts:    3,
+		backoff:     50 * time.Millisecond,
+		dialTimeout: 5 * time.Second,
+		reqTimeout:  60 * time.Second,
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	return r
+}
+
+// Addr returns the site address the client ships plans to.
+func (r *RemoteStore) Addr() string { return r.addr }
+
+// Close drops the cached connection; a later request re-dials.
+func (r *RemoteStore) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.conn == nil {
+		return nil
+	}
+	err := r.conn.Close()
+	r.conn = nil
+	return err
+}
+
+// WireBytes reports the cumulative payload-plus-header bytes this client
+// has sent and received — what the O(index cells) tests and the
+// federated benchmarks measure.
+func (r *RemoteStore) WireBytes() (sent, received uint64) {
+	return r.sent.Load(), r.recv.Load()
+}
+
+// countingConn tallies conn traffic into the client's wire counters.
+type countingConn struct {
+	net.Conn
+	r *RemoteStore
+}
+
+func (c countingConn) Read(b []byte) (int, error) {
+	n, err := c.Conn.Read(b)
+	c.r.recv.Add(uint64(n))
+	return n, err
+}
+
+func (c countingConn) Write(b []byte) (int, error) {
+	n, err := c.Conn.Write(b)
+	c.r.sent.Add(uint64(n))
+	return n, err
+}
+
+// roundTrip sends one request frame and reads its response, retrying
+// transport failures per the policy above. It returns the response
+// payload after unwrapping error frames.
+func (r *RemoteStore) roundTrip(reqType byte, plan attack.Plan, wantResp byte) ([]byte, error) {
+	req := plan.AppendBinary(nil)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var lastErr error
+	for attempt := 0; attempt < r.attempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(r.backoff << (attempt - 1))
+		}
+		if r.conn == nil {
+			conn, err := net.DialTimeout(r.network, r.addr, r.dialTimeout)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			r.conn = countingConn{conn, r}
+		}
+		payload, err := r.exchange(req, reqType, wantResp)
+		if err == nil {
+			return payload, nil
+		}
+		// The connection is in an unknown state after any failure.
+		r.conn.Close()
+		r.conn = nil
+		if !retryable(err) {
+			return nil, fmt.Errorf("federation: %s: %w", r.addr, err)
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("federation: %s: %d attempts failed: %w", r.addr, r.attempts, lastErr)
+}
+
+// exchange performs one request/response on the live connection,
+// bounded by the request timeout (a deadline violation is a transport
+// error: the connection is dropped and the request retried).
+func (r *RemoteStore) exchange(req []byte, reqType, wantResp byte) ([]byte, error) {
+	if r.reqTimeout > 0 {
+		if err := r.conn.SetDeadline(time.Now().Add(r.reqTimeout)); err != nil {
+			return nil, err
+		}
+	}
+	if err := writeFrame(r.conn, reqType, req); err != nil {
+		return nil, err
+	}
+	typ, payload, err := readFrame(r.conn, maxRespPayload)
+	if err != nil {
+		return nil, err
+	}
+	switch typ {
+	case wantResp:
+		return payload, nil
+	case typeRespError:
+		if len(payload) > maxErrPayload {
+			payload = payload[:maxErrPayload]
+		}
+		return nil, remoteError(payload)
+	default:
+		return nil, errFrame("response type %#x, want %#x", typ, wantResp)
+	}
+}
+
+// remoteError is a failure the server reported in an error frame.
+type remoteError string
+
+func (e remoteError) Error() string { return "remote: " + string(e) }
+
+// retryable separates transport failures (retry on a fresh connection)
+// from protocol failures (fail fast; see the RemoteStore doc comment).
+func retryable(err error) bool {
+	var fe frameError
+	var re remoteError
+	switch {
+	case errors.As(err, &fe), errors.As(err, &re), errors.Is(err, io.ErrUnexpectedEOF):
+		return false
+	}
+	return true
+}
+
+var _ attack.Queryable = (*RemoteStore)(nil)
+
+// PlanCount executes the plan's Count terminal at the site. Only the
+// 20-byte plan and an 8-byte count cross the wire.
+func (r *RemoteStore) PlanCount(p attack.Plan) (int, error) {
+	payload, err := r.roundTrip(typeReqCount, p, typeRespCount)
+	if err != nil {
+		return 0, err
+	}
+	if len(payload) != 8 {
+		return 0, errFrame("count payload is %d bytes, want 8", len(payload))
+	}
+	return int(binary.LittleEndian.Uint64(payload)), nil
+}
+
+// PlanCountByVector executes the plan's CountByVector terminal at the
+// site; the response is one fixed-size row of index cells.
+func (r *RemoteStore) PlanCountByVector(p attack.Plan) ([attack.NumVectors]int, error) {
+	var out [attack.NumVectors]int
+	payload, err := r.roundTrip(typeReqCountByVector, p, typeRespCountByVector)
+	if err != nil {
+		return out, err
+	}
+	if len(payload) != 8*attack.NumVectors {
+		return out, errFrame("per-vector payload is %d bytes, want %d", len(payload), 8*attack.NumVectors)
+	}
+	for v := range out {
+		out[v] = int(binary.LittleEndian.Uint64(payload[8*v:]))
+	}
+	return out, nil
+}
+
+// PlanCountByDay executes the plan's CountByDay terminal at the site;
+// the response is the WindowDays-cell daily index row.
+func (r *RemoteStore) PlanCountByDay(p attack.Plan) ([]int, error) {
+	payload, err := r.roundTrip(typeReqCountByDay, p, typeRespCountByDay)
+	if err != nil {
+		return nil, err
+	}
+	if len(payload) != 8*attack.WindowDays {
+		return nil, errFrame("per-day payload is %d bytes, want %d", len(payload), 8*attack.WindowDays)
+	}
+	out := make([]int, attack.WindowDays)
+	for d := range out {
+		out[d] = int(binary.LittleEndian.Uint64(payload[8*d:]))
+	}
+	return out, nil
+}
+
+// PlanStore fetches the plan's matching events from the site as a
+// DOSEVT02 segment and serves a Store zero-copy from the received
+// bytes. The returned closer is a no-op (the buffer is heap memory),
+// but callers should still close it per the Queryable contract.
+func (r *RemoteStore) PlanStore(p attack.Plan) (*attack.Store, io.Closer, error) {
+	payload, err := r.roundTrip(typeReqFetch, p, typeRespSegment)
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err := attack.OpenSegment(payload)
+	if err != nil {
+		return nil, nil, fmt.Errorf("federation: %s: %w", r.addr, err)
+	}
+	return st, nopCloser{}, nil
+}
+
+// nopCloser is the closer for heap-backed segment buffers.
+type nopCloser struct{}
+
+func (nopCloser) Close() error { return nil }

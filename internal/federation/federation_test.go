@@ -1,0 +1,561 @@
+package federation
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"net"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"doscope/internal/attack"
+	"doscope/internal/netx"
+)
+
+// randomEvents mirrors the attack package's test generator: n valid
+// events over both sources and all vectors, spread across (and slightly
+// outside) the measurement window.
+func randomEvents(rng *rand.Rand, n int) []attack.Event {
+	events := make([]attack.Event, n)
+	for i := range events {
+		e := attack.Event{
+			Target:  netx.AddrFrom4(203, byte(rng.Intn(4)), byte(rng.Intn(8)), byte(rng.Intn(32))),
+			Start:   attack.WindowStart + rng.Int63n((attack.WindowDays+20)*86400) - 10*86400,
+			Packets: rng.Uint64() % 1e9,
+			Bytes:   rng.Uint64() % 1e12,
+		}
+		if rng.Intn(2) == 0 {
+			e.Source = attack.SourceTelescope
+			e.Vector = attack.Vector(rng.Intn(4))
+			e.MaxPPS = rng.Float64() * 1e4
+			for j := 0; j < rng.Intn(4); j++ {
+				e.Ports = append(e.Ports, uint16(rng.Intn(65536)))
+			}
+		} else {
+			e.Source = attack.SourceHoneypot
+			e.Vector = attack.VectorNTP + attack.Vector(rng.Intn(8))
+			e.AvgRPS = rng.Float64() * 1e4
+		}
+		e.End = e.Start + rng.Int63n(86400)
+		events[i] = e
+	}
+	return events
+}
+
+// startSite serves st on a loopback listener and returns a client for
+// it. mu may be nil for stores with no concurrent writer.
+func startSite(t *testing.T, st *attack.Store, mu sync.Locker, opts ...Option) *RemoteStore {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go NewServer(st, mu).Serve(l)
+	r := Dial(l.Addr().String(), opts...)
+	t.Cleanup(func() { r.Close() })
+	return r
+}
+
+// segmentBacked round-trips a store through the DOSEVT02 codec so the
+// site serves mmap-style (frozen, order-index-free) shards.
+func segmentBacked(t *testing.T, st *attack.Store) *attack.Store {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := st.WriteSegment(&buf); err != nil {
+		t.Fatal(err)
+	}
+	seg, err := attack.OpenSegment(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seg
+}
+
+// fedPlans are the filter shapes the equivalence test executes; they
+// cover every serializable filter dimension and their combination.
+func fedPlans() map[string]attack.Plan {
+	prefix := netx.AddrFrom4(203, 1, 0, 0)
+	target := netx.AddrFrom4(203, 0, 2, 5)
+	return map[string]attack.Plan{
+		"all":     attack.PlanAll(),
+		"source":  {Source: int8(attack.SourceHoneypot)},
+		"vectors": {Source: -1, VecMask: 1<<attack.VectorTCP | 1<<attack.VectorNTP},
+		"days":    {Source: -1, HasDays: true, DayLo: 10, DayHi: 400},
+		"days-out-of-window": {Source: -1, HasDays: true, DayLo: -20, DayHi: 5},
+		"prefix":  {Source: -1, HasPrefix: true, PrefixBits: 16, Prefix: prefix.Mask(16)},
+		"target":  {Source: -1, HasPrefix: true, PrefixBits: 32, Prefix: target},
+		"combined": {Source: int8(attack.SourceTelescope),
+			VecMask: 1<<attack.VectorTCP | 1<<attack.VectorUDP,
+			HasDays: true, DayLo: 0, DayHi: 600,
+			HasPrefix: true, PrefixBits: 18, Prefix: prefix.Mask(18)},
+	}
+}
+
+// TestFederatedEquivalence is the mixed-backend property test:
+// QueryStores over local stores must be indistinguishable from the same
+// data split across RemoteStore sites — one serving a segment-backed
+// store, one serving a live store with unsealed pending tails — for
+// every terminal, with counting results byte-identical to the
+// equivalent single-store query.
+func TestFederatedEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	events := randomEvents(rng, 3000)
+	combined := attack.NewStore(events)
+
+	// Site A: a segment-backed store, the bulk-capture shape.
+	localA := attack.NewStore(events[:1600])
+	siteA := segmentBacked(t, localA)
+
+	// Site B: a live store mid-ingest — AddBatch most of it, then
+	// trickle the rest through Add so shards keep unsealed tails.
+	var mu sync.Mutex
+	siteB := &attack.Store{}
+	siteB.AddBatch(events[1600:2900])
+	for _, e := range events[2900:] {
+		siteB.Add(e)
+	}
+	localB := attack.NewStore(events[1600:])
+
+	ra := startSite(t, siteA, nil)
+	rb := startSite(t, siteB, &mu)
+
+	for name, plan := range fedPlans() {
+		t.Run(name, func(t *testing.T) {
+			fed := attack.QueryPlan(plan, ra, rb)
+			local := plan.Query(localA, localB)
+			single := plan.Query(combined)
+
+			n, err := fed.Count()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := single.Count(); n != want {
+				t.Errorf("Count = %d, want %d", n, want)
+			}
+
+			perVec, err := fed.CountByVector()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := plan.Query(combined).CountByVector(); perVec != want {
+				t.Errorf("CountByVector = %v, want %v", perVec, want)
+			}
+
+			perDay, err := fed.CountByDay()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := plan.Query(combined).CountByDay(); !reflect.DeepEqual(perDay, want) {
+				t.Error("CountByDay mismatch vs single-store query")
+			}
+
+			got, err := fed.Events()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := local.Events()
+			if len(got) != len(want) {
+				t.Fatalf("Events: %d events, want %d", len(got), len(want))
+			}
+			if len(want) > 0 && !reflect.DeepEqual(got, want) {
+				t.Error("Events mismatch vs local split")
+			}
+
+			// IterByStart merges across backends by start time exactly
+			// like the local multi-store merge.
+			it, closer, err := attack.QueryPlan(plan, ra, rb).IterByStart()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var starts []int64
+			for e := range it {
+				starts = append(starts, e.Start)
+			}
+			closer.Close()
+			var wantStarts []int64
+			for e := range plan.Query(localA, localB).IterByStart() {
+				wantStarts = append(wantStarts, e.Start)
+			}
+			if !reflect.DeepEqual(starts, wantStarts) {
+				t.Error("IterByStart order mismatch")
+			}
+		})
+	}
+}
+
+// TestFederatedMixedBackends runs one federated plan over a local store
+// and a remote site in the same QueryBackends call.
+func TestFederatedMixedBackends(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	events := randomEvents(rng, 1200)
+	combined := attack.NewStore(events)
+	local := attack.NewStore(events[:700])
+	remote := startSite(t, attack.NewStore(events[700:]), nil)
+
+	fed := attack.QueryBackends(local, remote).Source(attack.SourceHoneypot)
+	n, err := fed.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := combined.Query().Source(attack.SourceHoneypot).Count(); n != want {
+		t.Fatalf("mixed-backend Count = %d, want %d", n, want)
+	}
+	evs, err := fed.Events()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != n {
+		t.Fatalf("mixed-backend Events = %d, want %d", len(evs), n)
+	}
+}
+
+// TestCountingWireBytesOIndex asserts the acceptance criterion that
+// counting queries ship index partials, not events: the bytes a
+// federated count moves are identical for a small and an 8x larger
+// store, while a segment fetch scales with the events.
+func TestCountingWireBytesOIndex(t *testing.T) {
+	countingBytes := func(n int) (recv uint64) {
+		rng := rand.New(rand.NewSource(47))
+		r := startSite(t, attack.NewStore(randomEvents(rng, n)), nil)
+		fed := attack.QueryBackends(r)
+		if _, err := fed.Count(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fed.CountByVector(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fed.CountByDay(); err != nil {
+			t.Fatal(err)
+		}
+		_, recv = r.WireBytes()
+		return recv
+	}
+	small, large := countingBytes(1000), countingBytes(8000)
+	if small != large {
+		t.Errorf("counting wire bytes grew with the store: %d at 1k events, %d at 8k", small, large)
+	}
+	// The exact budget: three response headers plus the count (8B),
+	// per-vector (NumVectors*8) and per-day (WindowDays*8) index rows.
+	wantResp := uint64(3*frameHeader + 8 + 8*attack.NumVectors + 8*attack.WindowDays)
+	if small != wantResp {
+		t.Errorf("counting wire bytes = %d, want exactly %d (index cells + headers)", small, wantResp)
+	}
+
+	segmentBytes := func(n int) (recv uint64) {
+		rng := rand.New(rand.NewSource(47))
+		r := startSite(t, attack.NewStore(randomEvents(rng, n)), nil)
+		st, closer, err := r.PlanStore(attack.PlanAll())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer closer.Close()
+		if st.Len() != n {
+			t.Fatalf("fetched store has %d events, want %d", st.Len(), n)
+		}
+		_, recv = r.WireBytes()
+		return recv
+	}
+	if s, l := segmentBytes(1000), segmentBytes(8000); l < 4*s {
+		t.Errorf("segment fetch should scale with events: %d at 1k, %d at 8k", s, l)
+	}
+}
+
+// TestLiveSiteSeesIngest: a served store keeps answering as the writer
+// appends under the shared lock, and remote counts track the ingest.
+func TestLiveSiteSeesIngest(t *testing.T) {
+	var mu sync.Mutex
+	st := &attack.Store{}
+	r := startSite(t, st, &mu)
+	rng := rand.New(rand.NewSource(53))
+	events := randomEvents(rng, 300)
+
+	for round := 0; round < 3; round++ {
+		mu.Lock()
+		st.AddBatch(events[100*round : 100*(round+1)])
+		mu.Unlock()
+		n, err := attack.QueryBackends(r).Count()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := 100 * (round + 1); n != want {
+			t.Fatalf("after round %d: remote Count = %d, want %d", round, n, want)
+		}
+	}
+}
+
+// TestConcurrentClients: handlers run one per connection, and the
+// server's internal lock must serialize them — counting queries build
+// lazy indexes, so unserialized concurrent reads would race (run under
+// -race in CI).
+func TestConcurrentClients(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	st := attack.NewStore(randomEvents(rng, 2000))
+	want := st.Query().Count() // pre-read so the fresh servers below start cold
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go NewServer(attack.NewStore(randomEvents(rand.New(rand.NewSource(71)), 2000)), nil).Serve(l)
+
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := Dial(l.Addr().String())
+			defer r.Close()
+			for j := 0; j < 5; j++ {
+				n, err := r.PlanCount(attack.PlanAll())
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				if n != want {
+					errs[i] = fmt.Errorf("Count = %d, want %d", n, want)
+					return
+				}
+				if _, err := r.PlanCountByDay(attack.PlanAll()); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// rawSite runs fn for each accepted connection — a hand-rolled peer for
+// protocol-corruption tests.
+func rawSite(t *testing.T, fn func(net.Conn)) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				fn(c)
+			}(conn)
+		}
+	}()
+	return l.Addr().String()
+}
+
+// discardRequest reads one request frame off the wire.
+func discardRequest(c net.Conn) bool {
+	_, _, err := readFrame(c, maxReqPayload)
+	return err == nil
+}
+
+// TestClientRejectsCorruptFrames mirrors the DOSEVT02 fuzz posture on
+// the wire: truncated, oversized, mistyped, and mismagicked responses
+// must surface as errors immediately — never hangs, panics, or silent
+// wrong answers — and must not be retried (a corrupt stream cannot be
+// resynchronized).
+func TestClientRejectsCorruptFrames(t *testing.T) {
+	goodCount := func() []byte {
+		var buf bytes.Buffer
+		writeFrame(&buf, typeRespCount, binary.LittleEndian.AppendUint64(nil, 42))
+		return buf.Bytes()
+	}
+	cases := []struct {
+		name string
+		resp func() []byte
+	}{
+		{"bad-magic", func() []byte { b := goodCount(); b[0] = 'X'; return b }},
+		{"reserved", func() []byte { b := goodCount(); b[6] = 1; return b }},
+		{"wrong-type", func() []byte {
+			var buf bytes.Buffer
+			writeFrame(&buf, typeRespSegment, []byte("not a count"))
+			return buf.Bytes()
+		}},
+		{"unknown-type", func() []byte { b := goodCount(); b[4] = 0x7b; return b }},
+		{"short-payload", func() []byte {
+			var buf bytes.Buffer
+			writeFrame(&buf, typeRespCount, []byte{1, 2, 3})
+			return buf.Bytes()
+		}},
+		{"oversized-length", func() []byte {
+			b := goodCount()
+			binary.LittleEndian.PutUint32(b[8:12], maxRespPayload+1)
+			return b[:frameHeader]
+		}},
+		{"truncated-header", func() []byte { return goodCount()[:5] }},
+		{"truncated-payload", func() []byte { return goodCount()[:frameHeader+3] }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			addr := rawSite(t, func(c net.Conn) {
+				if discardRequest(c) {
+					c.Write(tc.resp())
+				}
+			})
+			r := Dial(addr, WithAttempts(1), WithBackoff(time.Millisecond))
+			defer r.Close()
+			if _, err := r.PlanCount(attack.PlanAll()); err == nil {
+				t.Fatal("corrupt response accepted without error")
+			}
+		})
+	}
+}
+
+// TestClientRejectsCorruptSegment: a syntactically valid segment frame
+// carrying corrupt DOSEVT02 bytes is rejected by the segment reader.
+func TestClientRejectsCorruptSegment(t *testing.T) {
+	addr := rawSite(t, func(c net.Conn) {
+		if discardRequest(c) {
+			writeFrame(c, typeRespSegment, []byte("DOSEVT02 but then garbage"))
+		}
+	})
+	r := Dial(addr, WithAttempts(1))
+	defer r.Close()
+	if _, _, err := r.PlanStore(attack.PlanAll()); err == nil {
+		t.Fatal("corrupt segment accepted without error")
+	}
+}
+
+// TestServerRejectsCorruptRequests: garbage from a client yields an
+// error frame (when a response is possible at all) and a closed
+// connection, not a wedged or crashed server.
+func TestServerRejectsCorruptRequests(t *testing.T) {
+	st := attack.NewStore(randomEvents(rand.New(rand.NewSource(59)), 100))
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go NewServer(st, nil).Serve(l)
+
+	send := func(raw []byte) (byte, []byte, error) {
+		conn, err := net.Dial("tcp", l.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		if _, err := conn.Write(raw); err != nil {
+			t.Fatal(err)
+		}
+		conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		return readFrame(conn, maxRespPayload)
+	}
+
+	frame := func(typ byte, payload []byte) []byte {
+		var buf bytes.Buffer
+		writeFrame(&buf, typ, payload)
+		return buf.Bytes()
+	}
+	goodPlan := attack.PlanAll().AppendBinary(nil)
+	for name, raw := range map[string][]byte{
+		"bad-magic":      append([]byte("XXXX"), frame(typeReqCount, goodPlan)[4:]...),
+		"unknown-type":   frame(0x42, goodPlan),
+		"short-plan":     frame(typeReqCount, goodPlan[:7]),
+		"corrupt-plan":   frame(typeReqCount, append(append([]byte{}, goodPlan[:1]...), append([]byte{0xee}, goodPlan[2:]...)...)),
+		"oversized-plan": frame(typeReqCount, make([]byte, maxReqPayload+1)),
+	} {
+		t.Run(name, func(t *testing.T) {
+			typ, _, err := send(raw)
+			if err == nil && typ != typeRespError {
+				t.Fatalf("server answered type %#x to a corrupt request, want error frame or close", typ)
+			}
+		})
+	}
+
+	// And the server is still healthy afterwards.
+	r := Dial(l.Addr().String())
+	defer r.Close()
+	n, err := r.PlanCount(attack.PlanAll())
+	if err != nil || n != st.Len() {
+		t.Fatalf("server unhealthy after corrupt requests: n=%d err=%v", n, err)
+	}
+}
+
+// TestRetryAfterPeerClose: a site that drops the first connection before
+// responding is retried with backoff and the second attempt succeeds —
+// the RemoteStore transport contract.
+func TestRetryAfterPeerClose(t *testing.T) {
+	st := attack.NewStore(randomEvents(rand.New(rand.NewSource(61)), 50))
+	var mu sync.Mutex
+	drops := 1
+	srv := NewServer(st, nil)
+	addr := rawSite(t, func(c net.Conn) {
+		mu.Lock()
+		drop := drops > 0
+		if drop {
+			drops--
+		}
+		mu.Unlock()
+		if drop {
+			return // close before any response byte: retryable
+		}
+		srv.handle(nopCloseConn{c})
+	})
+	r := Dial(addr, WithAttempts(3), WithBackoff(time.Millisecond))
+	defer r.Close()
+	n, err := r.PlanCount(attack.PlanAll())
+	if err != nil {
+		t.Fatalf("retry did not recover: %v", err)
+	}
+	if n != st.Len() {
+		t.Fatalf("Count = %d, want %d", n, st.Len())
+	}
+}
+
+// nopCloseConn lets rawSite's deferred Close coexist with handle's.
+type nopCloseConn struct{ net.Conn }
+
+func (nopCloseConn) Close() error { return nil }
+
+// TestDialRetryBackoff: nothing listening at all exhausts the attempts
+// and reports the dial failure rather than hanging.
+func TestDialRetryBackoff(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close() // nothing listens here now
+	r := Dial(addr, WithAttempts(2), WithBackoff(time.Millisecond), WithDialTimeout(time.Second))
+	if _, err := r.PlanCount(attack.PlanAll()); err == nil {
+		t.Fatal("count against a dead site succeeded")
+	}
+}
+
+// TestUnixSocketSite: the unix-socket transport works end to end and is
+// selected automatically from the path-shaped address.
+func TestUnixSocketSite(t *testing.T) {
+	st := attack.NewStore(randomEvents(rand.New(rand.NewSource(67)), 200))
+	sock := t.TempDir() + "/site.sock"
+	l, err := Listen(sock)
+	if err != nil {
+		t.Skipf("unix sockets unavailable: %v", err)
+	}
+	defer l.Close()
+	go NewServer(st, nil).Serve(l)
+	r := Dial(sock)
+	defer r.Close()
+	n, err := r.PlanCount(attack.PlanAll())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != st.Len() {
+		t.Fatalf("Count over unix socket = %d, want %d", n, st.Len())
+	}
+}

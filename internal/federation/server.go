@@ -1,0 +1,155 @@
+package federation
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"strings"
+	"sync"
+
+	"doscope/internal/attack"
+)
+
+// Server exposes one site's attack store to federation clients. Each
+// accepted connection is a sequential request/response stream: the
+// client ships a compiled attack.Plan, the server executes it against
+// the store and replies with either an index partial (counting
+// terminals) or a DOSEVT02 segment of the matching events (fetch).
+//
+// A server can front a live store — one still absorbing ingest, e.g. the
+// cmd/amppot flush pipeline — by sharing the writer's lock: every plan
+// executes under mu, and counting plans answer from the store's
+// delta-maintained indexes plus pending-tail scans without forcing a
+// seal, so serving never re-sorts a capture mid-ingest.
+type Server struct {
+	store *attack.Store
+	mu    sync.Locker
+}
+
+// NewServer wraps a store for serving. Every plan executes under mu:
+// pass the lock that guards the store's writer when the store is still
+// ingesting, or nil for a read-only store — the server then supplies
+// its own lock, which still serializes concurrent client handlers
+// against each other (attack.Store is not safe for concurrent use even
+// read-side: queries may build lazy indexes or seal pending tails).
+func NewServer(st *attack.Store, mu sync.Locker) *Server {
+	if mu == nil {
+		mu = &sync.Mutex{}
+	}
+	return &Server{store: st, mu: mu}
+}
+
+// Serve accepts connections until the listener closes, handling each on
+// its own goroutine. It returns nil when the listener is closed.
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go s.handle(conn)
+	}
+}
+
+// handle serves one connection's request frames until the peer closes
+// or a frame fails to parse (after a best-effort error frame).
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	for {
+		typ, payload, err := readFrame(br, maxReqPayload)
+		if err != nil {
+			// io.EOF: the peer is done. Anything else: tell it why
+			// before hanging up; the stream cannot be resynchronized.
+			if !errors.Is(err, io.EOF) {
+				_ = writeFrame(conn, typeRespError, []byte(err.Error()))
+			}
+			return
+		}
+		respType, resp, err := s.execute(typ, payload)
+		if err != nil {
+			_ = writeFrame(conn, typeRespError, []byte(err.Error()))
+			return
+		}
+		if err := writeFrame(conn, respType, resp); err != nil {
+			return
+		}
+	}
+}
+
+// execute runs one decoded request against the store under the writer
+// lock and returns the response frame.
+func (s *Server) execute(typ byte, payload []byte) (respType byte, resp []byte, err error) {
+	p, err := attack.DecodePlan(payload)
+	if err != nil {
+		return 0, nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch typ {
+	case typeReqCount:
+		n := p.Query(s.store).Count()
+		resp = binary.LittleEndian.AppendUint64(nil, uint64(n))
+		return typeRespCount, resp, nil
+	case typeReqCountByVector:
+		counts := p.Query(s.store).CountByVector()
+		resp = make([]byte, 0, 8*attack.NumVectors)
+		for _, n := range counts {
+			resp = binary.LittleEndian.AppendUint64(resp, uint64(n))
+		}
+		return typeRespCountByVector, resp, nil
+	case typeReqCountByDay:
+		counts := p.Query(s.store).CountByDay()
+		resp = make([]byte, 0, 8*attack.WindowDays)
+		for _, n := range counts {
+			resp = binary.LittleEndian.AppendUint64(resp, uint64(n))
+		}
+		return typeRespCountByDay, resp, nil
+	case typeReqFetch:
+		// Iteration terminals are the one case events cross the wire:
+		// the matching subset leaves as a DOSEVT02 segment. An
+		// unfiltered plan ships the store verbatim, skipping the copy.
+		st := s.store
+		if !p.All() {
+			st = p.Query(s.store).Collect()
+		}
+		var buf bytes.Buffer
+		if err := st.WriteSegment(&buf); err != nil {
+			return 0, nil, err
+		}
+		if buf.Len() > maxRespPayload {
+			return 0, nil, fmt.Errorf("federation: segment of %d bytes exceeds the %d-byte frame limit; narrow the plan", buf.Len(), maxRespPayload)
+		}
+		return typeRespSegment, buf.Bytes(), nil
+	default:
+		return 0, nil, fmt.Errorf("federation: unknown request type %#x", typ)
+	}
+}
+
+// Listen opens a federation listener on addr: a unix socket when addr
+// contains a path separator (any stale socket file is removed first),
+// TCP otherwise.
+func Listen(addr string) (net.Listener, error) {
+	network := netKind(addr)
+	if network == "unix" {
+		_ = os.Remove(addr)
+	}
+	return net.Listen(network, addr)
+}
+
+// netKind maps an address to its network: paths are unix sockets,
+// host:port pairs are TCP.
+func netKind(addr string) string {
+	if strings.ContainsRune(addr, '/') {
+		return "unix"
+	}
+	return "tcp"
+}
