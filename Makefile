@@ -8,7 +8,7 @@ GO        ?= go
 # recording BENCH_<n>.json numbers meant for comparison.
 BENCHTIME ?= 1x
 # The benchmark families whose ns/op the perf-trajectory record tracks.
-BENCH_RECORD ?= BenchmarkAgg|BenchmarkColumnarScan|BenchmarkSegmentOpen|BenchmarkLiveIngest|BenchmarkFederated
+BENCH_RECORD ?= BenchmarkAgg|BenchmarkColumnarScan|BenchmarkSegmentOpen|BenchmarkLiveIngest|BenchmarkFederated|BenchmarkConcurrentQuery
 
 .PHONY: build vet test race bench docs clean
 
@@ -21,27 +21,34 @@ vet:
 test:
 	$(GO) test ./...
 
-# race runs the suite under the race detector; the amppot live-flush
-# path and attack.Fold are the concurrent surfaces it guards.
+# race runs the suite under the race detector: the lock-free store read
+# paths (writer-vs-readers stress tests in internal/attack and
+# internal/federation), the amppot live-flush pipeline, and attack.Fold
+# are the concurrent surfaces it guards.
 race:
 	$(GO) test -race ./...
 
 # bench runs every benchmark in the module once as a smoke check and
-# records the query/columnar/segment/live-ingest/federation suites'
-# ns/op into BENCH_4.json.
+# records the query/columnar/segment/live-ingest/federation/concurrency
+# suites' ns/op into BENCH_5.json.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) ./... | tee bench.out
-	$(GO) run ./cmd/benchjson -match '$(BENCH_RECORD)' < bench.out > BENCH_4.json
+	$(GO) run ./cmd/benchjson -match '$(BENCH_RECORD)' < bench.out > BENCH_5.json
 	rm -f bench.out
 
 # docs keeps the documentation honest: the examples must build, the
-# godoc Example* snippets must run, and neither README nor docs/ may
-# demonstrate the deprecated snippet-style Events()/ByTarget() API.
+# godoc Example* snippets must run, neither README nor docs/ may
+# demonstrate the deprecated snippet-style Events()/ByTarget() API, and
+# no NEW internal caller may adopt it either (the attack package itself
+# and tests, which use Events() as the oracle, are the only exceptions).
 docs:
 	$(GO) build ./examples/...
 	$(GO) test -run Example ./internal/attack ./internal/federation
 	@if grep -RnE '(st|store)\.(Events|ByTarget)\(\)' README.md docs/; then \
 		echo "docs reference the deprecated Events()/ByTarget() API"; exit 1; fi
+	@if grep -RnE '\b(st|store)\.(Events|ByTarget)\(\)' --include='*.go' cmd examples internal \
+		| grep -v '_test\.go' | grep -v '^internal/attack/'; then \
+		echo "new internal callers of the deprecated Events()/ByTarget() API"; exit 1; fi
 	@echo "docs ok"
 
 clean:

@@ -14,7 +14,9 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"doscope/internal/amppot"
 	"doscope/internal/attack"
@@ -863,6 +865,97 @@ func BenchmarkSegmentOpen(b *testing.B) {
 				benchSink = s.Len()
 				closer.Close()
 			}
+		})
+	}
+}
+
+// --- concurrent-query benchmarks (lock-free published-view reads) -------
+
+// concurrentReaders runs the query workload from n goroutines sharing
+// b.N iterations and returns only after all finish.
+func concurrentReaders(b *testing.B, n int, query func() int) {
+	var next int64
+	var wg sync.WaitGroup
+	sink := make([]int, n*8) // one padded slot per reader, no false sharing on benchSink
+	for g := 0; g < n; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for {
+				if i := atomic.AddInt64(&next, 1); i > int64(b.N) {
+					return
+				}
+				sink[g*8] = query()
+			}
+		}(g)
+	}
+	wg.Wait()
+	benchSink = sink[0]
+}
+
+// BenchmarkConcurrentQuery is the tentpole proof for the lock-free
+// store: reader throughput must scale with goroutines where the old
+// external-mutex contract flatlines. All three variants run the same
+// columnar prefix count (a real CPU-bound read, off the count index):
+//
+//   - mutex: every reader serializes on one lock, the PR-4-era contract
+//     ("a Store is not safe for concurrent use") — adding readers adds
+//     nothing.
+//   - lockfree: readers hit the published view directly.
+//   - lockfree-live: same, with a writer goroutine AddBatching into the
+//     store the whole time — reads and ingest never block each other.
+func BenchmarkConcurrentQuery(b *testing.B) {
+	evs := segmentEvents(200_000)
+	prefix := evs[0].Target
+	for _, readers := range []int{1, 2, 4, 8} {
+		st := attack.NewStore(evs)
+		st.Query().Count() // build the count index once, like a warmed dashboard
+		scan := func() int { return st.Query().TargetPrefix(prefix, 16).Days(0, attack.WindowDays-1).Count() }
+
+		var mu sync.Mutex
+		b.Run(fmt.Sprintf("mutex/readers=%d", readers), func(b *testing.B) {
+			concurrentReaders(b, readers, func() int {
+				mu.Lock()
+				defer mu.Unlock()
+				return scan()
+			})
+		})
+		b.Run(fmt.Sprintf("lockfree/readers=%d", readers), func(b *testing.B) {
+			concurrentReaders(b, readers, scan)
+		})
+		b.Run(fmt.Sprintf("lockfree-live/readers=%d", readers), func(b *testing.B) {
+			live := attack.NewStore(evs)
+			live.Query().Count()
+			stop := make(chan struct{})
+			var wwg sync.WaitGroup
+			wwg.Add(1)
+			go func() {
+				// A paced flush writer (the amppot cadence, sped up):
+				// one 512-event batch per millisecond, publishing each
+				// batch atomically while the readers run.
+				defer wwg.Done()
+				tick := time.NewTicker(time.Millisecond)
+				defer tick.Stop()
+				for i := 0; ; i = (i + 512) % len(evs) {
+					select {
+					case <-stop:
+						return
+					case <-tick.C:
+					}
+					end := i + 512
+					if end > len(evs) {
+						end = len(evs)
+					}
+					live.AddBatch(evs[i:end])
+				}
+			}()
+			b.ResetTimer()
+			concurrentReaders(b, readers, func() int {
+				return live.Query().TargetPrefix(prefix, 16).Days(0, attack.WindowDays-1).Count()
+			})
+			b.StopTimer()
+			close(stop)
+			wwg.Wait()
 		})
 	}
 }

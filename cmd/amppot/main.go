@@ -12,17 +12,22 @@
 // Extraction is live: every -flush interval the fleet drains completed
 // attack events into the capture store and a status line with
 // index-served per-vector counts goes to stderr — the store absorbs
-// each batch as pending-tail appends plus index deltas, so querying it
-// between flushes never re-sorts or recounts the capture. -flush 0
-// disables the live path and extracts everything once at shutdown.
+// each batch as pending-tail appends plus index deltas and publishes it
+// atomically, so querying it between flushes never re-sorts or recounts
+// the capture. -flush 0 disables the live path and extracts everything
+// once at shutdown.
 //
 // -serve exposes the live capture store as a federation site on the
 // given address (host:port, or a unix socket path) speaking the DOSFED01
 // protocol: remote clients (federation.RemoteStore, doscope -federate)
-// run counting queries against the store between flushes — answered
-// from its delta-maintained indexes under the flush lock, shipping
-// index partials rather than events — or fetch the capture as a
-// DOSEVT02 segment. See docs/FORMATS.md for the wire format.
+// run counting queries against the store at any time — lock-free reads
+// of the store's published view, concurrent with ingest and with each
+// other, shipping index partials rather than events — or fetch the
+// capture as a DOSEVT02 segment. Every query observes a whole-flush
+// prefix of the capture, never a partial batch. On shutdown the
+// federation listener closes and in-flight handlers drain before the
+// final flush and the -out write, so no remote fetch can observe the
+// capture mid-finalization. See docs/FORMATS.md for the wire format.
 //
 // -out selects the capture sink by extension: .seg writes the mmap-able
 // DOSEVT02 segment format, .bin the DOSEVT01 record stream, anything
@@ -103,17 +108,18 @@ func main() {
 	// The live capture store: the flush ticker drains completed events
 	// into it while it stays queryable — each drain is one AddBatch
 	// (pending-tail appends + per-shard seal deltas), and the status
-	// line's counts come straight from the delta-maintained indexes.
-	// The mutex serializes the drain goroutine against shutdown.
-	var (
-		storeMu sync.Mutex
-		store   = &attack.Store{}
-	)
-	// -serve makes this process a federation site: the server executes
-	// each shipped plan against the live store under the same mutex the
-	// flush ticker takes, so remote counting queries interleave safely
-	// with ingest.
+	// line's counts come straight from the incrementally maintained
+	// indexes. No lock anywhere: the store publishes an immutable view
+	// per mutation, so the drain goroutine, the status-line queries, and
+	// any federation handler all interleave freely.
+	store := &attack.Store{}
+	// -serve makes this process a federation site: handlers execute each
+	// shipped plan as a lock-free read against the live store's
+	// published view, so remote counting queries run concurrently with
+	// ingest (and with each other) and always observe a whole-batch
+	// prefix of the capture.
 	var fedListener net.Listener
+	var fedSrv *federation.Server
 	if *serveAddr != "" {
 		l, err := federation.Listen(*serveAddr)
 		if err != nil {
@@ -121,9 +127,9 @@ func main() {
 		}
 		fedListener = l
 		fmt.Fprintf(os.Stderr, "amppot: federation site on %s\n", l.Addr())
-		srv := federation.NewServer(store, &storeMu)
+		fedSrv = federation.NewServer(store)
 		go func() {
-			if err := srv.Serve(l); err != nil {
+			if err := fedSrv.Serve(l); err != nil {
 				fmt.Fprintln(os.Stderr, "amppot: federation:", err)
 			}
 		}()
@@ -142,17 +148,12 @@ func main() {
 				case <-done:
 					return
 				case <-tick.C:
-					storeMu.Lock()
 					n := fleet.DrainTo(store, time.Now().Unix())
 					if n == 0 {
-						storeMu.Unlock()
 						continue
 					}
-					total := store.Len()
-					counts := store.Query().CountByVector()
-					storeMu.Unlock()
 					fmt.Fprintf(os.Stderr, "amppot: live flush: +%d events (total %d, %s)\n",
-						n, total, vectorSummary(counts))
+						n, store.Len(), vectorSummary(store.Query().CountByVector()))
 				}
 			}
 		}()
@@ -171,16 +172,18 @@ func main() {
 	for _, c := range conns {
 		c.Close()
 	}
+	// Shutdown order matters: stop accepting federation connections and
+	// wait for every in-flight handler BEFORE the final drain and the
+	// -out write, so a remote fetch can never observe (or race) the
+	// capture mid-final-flush, and the written file is the same capture
+	// the last remote query saw.
 	if fedListener != nil {
 		fedListener.Close()
+		fedSrv.Shutdown()
 	}
 	close(done)
 	flushWG.Wait()
 
-	// In-flight federation handlers may still hold the lock; the final
-	// flush takes it too so the capture never mutates under a query.
-	storeMu.Lock()
-	defer storeMu.Unlock()
 	fleet.FlushTo(store)
 	fmt.Fprintf(os.Stderr, "amppot: %d attack events\n", store.Len())
 	counts := store.Query().CountByVector()

@@ -35,18 +35,35 @@
 //
 // Mutation cost is proportional to the delta, not the store. Add parks
 // the event in its shard's small unsorted pending tail (O(1), nothing
-// invalidated); counting terminals answer sealed rows from the lazy
-// per-day count and by-target indexes and fold in the pending tails by
-// bounded linear scan. Sealing — automatic at a small tail threshold,
-// per touched shard after an AddBatch, or lazily when a terminal needs
-// sorted order — stable-sorts just the tail, sorted-merges it into the
+// invalidated); counting terminals answer sealed rows from the per-day
+// count and by-target indexes and fold in the pending tails by bounded
+// linear scan. Sealing — automatic at a small tail threshold, per
+// touched shard after an AddBatch, or explicit via Seal, always on the
+// writer's side — stable-sorts just the tail, sorted-merges it into the
 // shard's order index, and applies index deltas for the newly sealed
-// rows only. Physical rows never move, so the by-target index's
-// (shard, row) handles stay valid for the life of the store, and a
-// from-scratch index rebuild happens at most once per store lifetime.
-// Store.AddBatch is the amortized flush path the amppot live pipeline
-// uses (Fleet.DrainTo drains completed events into a queried store on
-// a ticker; see cmd/amppot -flush).
+// rows only. Physical rows never move, so (shard, row) handles stay
+// valid for the life of the store, and a from-scratch index rebuild
+// happens at most once per store lifetime. Store.AddBatch is the
+// amortized flush path the amppot live pipeline uses (Fleet.DrainTo
+// drains completed events into a queried store on a ticker; see
+// cmd/amppot -flush).
+//
+// # Concurrency: single-writer/multi-reader publication
+//
+// A Store is safe for any number of concurrent readers alongside
+// writers. Mutators serialize on an internal mutex and atomically
+// publish an immutable view (shard snapshots plus count index); every
+// query terminal loads the published view once when it starts and runs
+// lock-free against it — no read path ever takes a lock, seals a tail,
+// or mutates shard state. Readers observe whole-mutation prefixes: an
+// AddBatch becomes visible all at once, never partially. Terminals
+// that need sorted order merge pending tails on the fly through a
+// read-only cursor instead of sealing, and the lazy index builds are
+// once-per-lifetime: the first reader that needs an index builds it
+// against its own snapshot and the writer adopts it on the next
+// mutation. This is what lets cmd/amppot drain, query, and serve its
+// capture with no store mutex, and federation.Server run concurrent
+// handlers over a live store.
 //
 // # Columnar layout and the scratch-Event contract
 //
@@ -79,9 +96,10 @@
 // internal/federation extends the query plane across processes, the
 // paper's join of independent vantage points: a Server exposes a site's
 // store (including a live amppot capture, via cmd/amppot -serve) over
-// the DOSFED01 frame protocol, and RemoteStore satisfies the narrow
-// attack.Queryable contract, so attack.QueryBackends plans mix local
-// stores and remote sites:
+// the DOSFED01 frame protocol — handlers run concurrently as lock-free
+// reads of the store's published view — and RemoteStore satisfies the
+// narrow attack.Queryable contract, so attack.QueryBackends plans mix
+// local stores and remote sites:
 //
 //	n, err := attack.QueryBackends(localStore, federation.Dial("site:9041")).
 //		Vectors(attack.VectorNTP).

@@ -99,7 +99,7 @@ func serveSite(st *attack.Store) string {
 	if err != nil {
 		log.Fatal(err)
 	}
-	go federation.NewServer(st, nil).Serve(l)
+	go federation.NewServer(st).Serve(l)
 	return l.Addr().String()
 }
 

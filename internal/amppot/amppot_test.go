@@ -353,9 +353,10 @@ func TestLiveUDPHoneypot(t *testing.T) {
 
 // TestFleetLiveDrainConcurrent drives requests from many goroutines
 // while a drainer periodically moves completed events into a live
-// attack.Store and queries it between drains — the cmd/amppot -flush
-// topology. Run under -race this exercises the fleet/collector locking
-// against the external store lock.
+// attack.Store and a separate reader goroutine queries it concurrently
+// — the cmd/amppot -flush topology with no store lock at all. Run under
+// -race this exercises the fleet/collector locking against the store's
+// lock-free published-view reads.
 func TestFleetLiveDrainConcurrent(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.MinRequests = 1
@@ -378,11 +379,10 @@ func TestFleetLiveDrainConcurrent(t *testing.T) {
 		}(w)
 	}
 
-	var storeMu sync.Mutex
 	store := &attack.Store{}
 	done := make(chan struct{})
 	var drainWG sync.WaitGroup
-	drainWG.Add(1)
+	drainWG.Add(2)
 	go func() {
 		defer drainWG.Done()
 		for {
@@ -391,10 +391,29 @@ func TestFleetLiveDrainConcurrent(t *testing.T) {
 				return
 			default:
 			}
-			storeMu.Lock()
 			fleet.DrainTo(store, attack.WindowStart+requests)
-			store.Query().Vectors(attack.VectorNTP).Count()
-			storeMu.Unlock()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	// Lock-free reader racing the drainer. Counts can only grow (the
+	// pipeline never removes events) and never past one event per
+	// victim, so assert monotonic non-decreasing within that bound; the
+	// main point of the goroutine is the -race surface itself.
+	go func() {
+		defer drainWG.Done()
+		last := 0
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			n := store.Query().Vectors(attack.VectorNTP).Count()
+			if n < last || n > workers {
+				t.Errorf("live count went from %d to %d (bound %d)", last, n, workers)
+				return
+			}
+			last = n
 			time.Sleep(time.Millisecond)
 		}
 	}()

@@ -79,13 +79,15 @@ func (f *Fleet) Events() []attack.Event {
 // DrainTo closes flows idle as of now and appends every event extracted
 // since the last drain to st in one AddBatch: the store absorbs the
 // flush as pending-tail appends plus at most one seal per touched
-// shard, and keeps answering queries from its delta-maintained indexes.
-// It returns the number of events appended.
+// shard, publishes the batch atomically, and keeps answering queries
+// from its incrementally maintained indexes. It returns the number of
+// events appended.
 //
-// DrainTo serializes against the fleet's collector internally, but the
-// store is the caller's: callers that query st from other goroutines
-// must guard it with their own lock (attack.Store is not safe for
-// concurrent use).
+// DrainTo serializes against the fleet's collector internally, and the
+// store needs no external lock either: its mutators serialize on an
+// internal mutex and its query paths are lock-free reads of the
+// published view, so other goroutines may query st (or drain into it)
+// concurrently.
 func (f *Fleet) DrainTo(st *attack.Store, now int64) int {
 	f.mu.Lock()
 	f.collector.CloseIdle(now)

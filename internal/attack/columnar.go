@@ -58,6 +58,13 @@ type shard struct {
 	sealed int  // rows [0, sealed) are ordered by ord; the rest are tail
 	frozen bool // columns alias read-only segment memory
 
+	// tgt lists the sealed body rows in (target, start, row) order — the
+	// by-target index, maintained by seal-time merges once the store has
+	// adopted a reader-built permutation (see Store.adoptLazy). nil means
+	// no exact-target query has ever run against the store; readers then
+	// build a per-view permutation themselves.
+	tgt []int32
+
 	// Per-(source, vector) counts let queries prune or count the shard
 	// without scanning. They cover ALL rows including the pending tail:
 	// appendRow maintains them incrementally once counted is set (a
@@ -123,13 +130,12 @@ func (sh *shard) view(i int, e *Event) {
 // appendRow appends e's fields to the columns as a pending-tail row,
 // copying its ports into the arena. Frozen (segment-backed) shards are
 // copied to the heap first. The per-shard counts are maintained
-// incrementally, so appending never invalidates them.
+// incrementally, so appending never invalidates them; a shard that was
+// opened uncounted (from a segment) gets its one countRows pass here,
+// on the writer side — read paths never count.
 func (sh *shard) appendRow(e *Event) {
 	if sh.frozen {
 		sh.thaw()
-	}
-	if sh.rows() == 0 {
-		sh.counted = true // an empty shard is trivially counted
 	}
 	sh.start = append(sh.start, e.Start)
 	sh.target = append(sh.target, e.Target)
@@ -146,12 +152,12 @@ func (sh *shard) appendRow(e *Event) {
 	sh.portOff = append(sh.portOff, uint32(len(sh.arena)))
 	sh.portLen = append(sh.portLen, uint16(n))
 	sh.arena = append(sh.arena, e.Ports[:n]...)
-	if sh.counted {
-		if src, vec := int(sh.key[len(sh.key)-1]>>8), int(e.Vector); src < 2 && vec < NumVectors {
-			sh.counts[src][vec]++
-		} else {
-			sh.unindexed++
-		}
+	if !sh.counted {
+		sh.countRows()
+	} else if src, vec := int(sh.key[len(sh.key)-1]>>8), int(e.Vector); src < 2 && vec < NumVectors {
+		sh.counts[src][vec]++
+	} else {
+		sh.unindexed++
 	}
 }
 
@@ -191,6 +197,19 @@ func (sh *shard) cmpRows(a, b int32) int {
 	return cmp.Compare(sh.target[a], sh.target[b])
 }
 
+// cmpRowsTgt orders two physical rows by the (target, start, row) key
+// the by-target permutation uses. The physical-row tiebreak makes the
+// order total, so plain sorts are deterministic without stability.
+func (sh *shard) cmpRowsTgt(a, b int32) int {
+	if c := cmp.Compare(sh.target[a], sh.target[b]); c != 0 {
+		return c
+	}
+	if c := cmp.Compare(sh.start[a], sh.start[b]); c != 0 {
+		return c
+	}
+	return cmp.Compare(a, b)
+}
+
 // seal merges the pending tail into the body ordering: the tail rows
 // are sorted among themselves (stable, so equal keys keep arrival
 // order) and then sorted-merged with the body's ord run. Cost is
@@ -198,7 +217,13 @@ func (sh *shard) cmpRows(a, b int32) int {
 // merge — instead of the O(n log n) full re-sort of the pre-incremental
 // store, and no column data moves, so existing (shard, row) handles
 // stay valid.
-func (sh *shard) seal() {
+//
+// The merges are publication-safe by construction: they either append
+// past the length of any previously published permutation header or
+// allocate a fresh slice, never rewriting entries a published view can
+// see. trackTgt additionally merges the tail into the by-target
+// permutation under the same discipline.
+func (sh *shard) seal(trackTgt bool) {
 	n := sh.rows()
 	t := n - sh.sealed
 	if t == 0 {
@@ -210,6 +235,9 @@ func (sh *shard) seal() {
 	}
 	slices.SortStableFunc(tail, sh.cmpRows)
 	body := sh.sealed
+	if trackTgt {
+		sh.sealTgt(body, n)
+	}
 	sh.sealed = n
 	// Append fast path: a tail that sorts entirely after the body (the
 	// common case for time-ordered live ingest) extends the run without
@@ -243,6 +271,154 @@ func (sh *shard) seal() {
 	}
 	merged = append(merged, tail[ti:]...)
 	sh.ord = merged
+}
+
+// sortedTgtRows returns rows [lo, hi) sorted by the by-target key.
+func (sh *shard) sortedTgtRows(lo, hi int) []int32 {
+	rows := make([]int32, hi-lo)
+	for i := range rows {
+		rows[i] = int32(lo + i)
+	}
+	slices.SortFunc(rows, sh.cmpRowsTgt)
+	return rows
+}
+
+// mergeTgtPerms merges two (target, start, row)-sorted permutations
+// into a fresh slice. Pure — safe for read-side catch-up over shared
+// permutations as well as the writer's seal merge.
+func (sh *shard) mergeTgtPerms(a, b []int32) []int32 {
+	out := make([]int32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if sh.cmpRowsTgt(a[i], b[j]) < 0 {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// sealTgt merges rows [body, n) into the by-target permutation. The
+// body permutation is normally already maintained (adoption hands the
+// writer a full-length permutation); a missing one is built here, on
+// the writer side, in the one case adoption could not cover the shard
+// (it had no sealed rows when the index was adopted).
+func (sh *shard) sealTgt(body, n int) {
+	if len(sh.tgt) != body {
+		sh.tgt = sh.sortedTgtRows(0, body)
+	}
+	tail := sh.sortedTgtRows(body, n)
+	if body == 0 || sh.cmpRowsTgt(sh.tgt[body-1], tail[0]) < 0 {
+		sh.tgt = append(sh.tgt, tail...)
+		return
+	}
+	sh.tgt = sh.mergeTgtPerms(sh.tgt[:body], tail)
+}
+
+// tailPerm returns the pending-tail rows sorted by (start, target),
+// arrival order breaking ties — exactly the order seal would merge them
+// in. Read-only: terminals that need sorted output use it to merge the
+// tail on the fly instead of sealing.
+func (sh *shard) tailPerm() []int32 {
+	t := sh.tail()
+	if t == 0 {
+		return nil
+	}
+	tail := make([]int32, t)
+	for i := range tail {
+		tail[i] = int32(sh.sealed + i)
+	}
+	slices.SortStableFunc(tail, sh.cmpRows)
+	return tail
+}
+
+// mergeCursor walks a shard snapshot's rows in global (start, target)
+// order without mutating anything: the sealed body through its ord
+// permutation, the pending tail through a temporary sorted permutation,
+// two-way merged with body-first ties (physical order is arrival order,
+// and tail rows arrived later). It yields exactly the order seal would
+// have produced.
+type mergeCursor struct {
+	sh   *shard
+	k    int // position in the body ordering
+	body int
+	tail []int32
+	t    int
+}
+
+func newMergeCursor(sh *shard) mergeCursor {
+	return mergeCursor{sh: sh, body: sh.sealed, tail: sh.tailPerm()}
+}
+
+// peek returns the next physical row in merged order, or -1 when the
+// cursor is exhausted.
+func (c *mergeCursor) peek() int {
+	if c.k < c.body {
+		b := int32(c.sh.ordRow(c.k))
+		if c.t >= len(c.tail) || c.sh.cmpRows(b, c.tail[c.t]) <= 0 {
+			return int(b)
+		}
+		return int(c.tail[c.t])
+	}
+	if c.t < len(c.tail) {
+		return int(c.tail[c.t])
+	}
+	return -1
+}
+
+// advance consumes the row peek would return.
+func (c *mergeCursor) advance() {
+	if c.k < c.body {
+		b := int32(c.sh.ordRow(c.k))
+		if c.t >= len(c.tail) || c.sh.cmpRows(b, c.tail[c.t]) <= 0 {
+			c.k++
+			return
+		}
+	}
+	c.t++
+}
+
+// next returns and consumes the next row in merged order, -1 when
+// exhausted — the drain loop every terminal but IterByStart (which
+// needs peek and advance split around its k-way merge) uses.
+func (c *mergeCursor) next() int {
+	if c.k < c.body {
+		b := int32(c.sh.ordRow(c.k))
+		if c.t >= len(c.tail) || c.sh.cmpRows(b, c.tail[c.t]) <= 0 {
+			c.k++
+			return int(b)
+		}
+		c.t++
+		return int(c.tail[c.t-1])
+	}
+	if c.t < len(c.tail) {
+		c.t++
+		return int(c.tail[c.t-1])
+	}
+	return -1
+}
+
+// fullOrd returns a permutation listing ALL rows — sealed body and
+// pending tail — in (start, target) order, or nil when the physical
+// layout already is that order. Pure: unlike seal it never updates the
+// shard, so the segment writer can run against a live snapshot.
+func (sh *shard) fullOrd() []int32 {
+	if sh.tail() == 0 {
+		return sh.ord
+	}
+	out := make([]int32, 0, sh.rows())
+	c := newMergeCursor(sh)
+	for i := c.next(); i >= 0; i = c.next() {
+		out = append(out, int32(i))
+	}
+	if tailIsIdentity(out, 0) {
+		return nil
+	}
+	return out
 }
 
 // tailIsIdentity reports whether the sorted tail indexes are exactly

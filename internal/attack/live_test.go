@@ -98,20 +98,35 @@ func assertIndexesMatchRebuild(t *testing.T, st *Store, oracle []Event) {
 	fresh := NewStore(oracle)
 	st.Seal()
 	fresh.Seal()
-	st.ensureCounts()
-	fresh.ensureCounts()
-	if !reflect.DeepEqual(st.counts, fresh.counts) {
+	sv, fv := st.view(), fresh.view()
+	if got, want := sv.countsFor(), fv.countsFor(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("delta-maintained count index diverged from a from-scratch rebuild:\n%+v\nvs\n%+v",
-			st.counts.out, fresh.counts.out)
+			got.out, want.out)
 	}
-	st.ensureTargets()
-	fresh.ensureTargets()
-	if len(st.targets) != len(fresh.targets) {
-		t.Fatalf("by-target index has %d targets, rebuild has %d", len(st.targets), len(fresh.targets))
+	// The by-target permutations must each be a valid (target, start,
+	// row) sort of exactly the sealed rows...
+	for si, p := range sv.tgtFor() {
+		sh := sv.shards[si]
+		if len(p) != sh.sealed {
+			t.Fatalf("shard %d: by-target permutation covers %d rows, sealed %d", si, len(p), sh.sealed)
+		}
+		for k := 1; k < len(p); k++ {
+			if sh.cmpRowsTgt(p[k-1], p[k]) >= 0 {
+				t.Fatalf("shard %d: by-target permutation out of order at %d", si, k)
+			}
+		}
 	}
-	for addr, refs := range st.targets {
-		if len(refs) != len(fresh.targets[addr]) {
-			t.Fatalf("by-target index[%v] has %d refs, rebuild has %d", addr, len(refs), len(fresh.targets[addr]))
+	// ...and resolve every address to the same events a rebuilt store
+	// resolves it to.
+	addrs := make(map[netx.Addr]struct{})
+	for i := range oracle {
+		addrs[oracle[i].Target] = struct{}{}
+	}
+	for addr := range addrs {
+		got := st.Query().Target(addr).Events()
+		want := fresh.Query().Target(addr).Events()
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("by-target index[%v] resolves %d events, rebuild %d", addr, len(got), len(want))
 		}
 	}
 }
@@ -172,36 +187,40 @@ func TestLiveIngestOracle(t *testing.T) {
 	}
 }
 
-// TestLiveIngestNoRebuilds is the rebuild-counter assertion: once the
-// lazy indexes exist, live ingest maintains them purely by seal deltas —
-// a post-seal Count is answered from the delta-maintained index with
-// zero from-scratch rebuilds and zero full re-sorts (the incremental
-// store has no full-sort path at all).
+// TestLiveIngestNoRebuilds is the rebuild-counter assertion: the lazy
+// indexes are built from scratch at most once per store lifetime — by
+// the first reader that needs them — after which the writer adopts them
+// and live ingest maintains them purely by seal deltas, with zero
+// further rebuilds and zero full re-sorts (the incremental store has no
+// full-sort path at all).
 func TestLiveIngestNoRebuilds(t *testing.T) {
 	rng := rand.New(rand.NewSource(61))
 	st := NewStore(randomEvents(rng, 2000))
+	st.Seal() // seal everything so the first reads build real indexes
 
 	if n := st.Query().Count(); n != 2000 {
 		t.Fatalf("Count = %d", n)
 	}
-	if st.rebuilds != 1 {
-		t.Fatalf("first Count built %d indexes, want 1", st.rebuilds)
+	if got := st.rebuilds.Load(); got != 1 {
+		t.Fatalf("first Count built %d indexes, want 1", got)
 	}
 	target := st.Events()[0].Target
 	st.Query().Target(target).Count()
-	if st.rebuilds != 2 {
-		t.Fatalf("target query raised rebuilds to %d, want 2", st.rebuilds)
+	if got := st.rebuilds.Load(); got != 2 {
+		t.Fatalf("target query raised rebuilds to %d, want 2", got)
 	}
 
 	// rowRef stability: remember which events the index resolves now.
-	refs := append([]rowRef(nil), st.targets[target]...)
+	tq := st.Query().Target(target)
+	refs := append([]rowRef(nil), tq.targetRefs(st.view(), true)...)
 	wantEvents := make([]Event, len(refs))
 	for i, ref := range refs {
-		st.shards[ref.shard].view(int(ref.row), &wantEvents[i])
+		st.view().shards[ref.shard].view(int(ref.row), &wantEvents[i])
 	}
 
 	// Live ingest: thousands of Adds force many automatic seals, plus
-	// explicit AddBatch seals.
+	// explicit AddBatch seals. The first mutation adopts the
+	// reader-built indexes; seal deltas maintain them from then on.
 	extra := randomEvents(rng, 3000)
 	for i := range extra[:1500] {
 		st.Add(extra[i])
@@ -215,15 +234,15 @@ func TestLiveIngestNoRebuilds(t *testing.T) {
 	if n := st.Query().Count(); n != 5000 {
 		t.Fatalf("post-seal Count = %d, want 5000", n)
 	}
-	if st.rebuilds != 2 {
-		t.Fatalf("live ingest triggered %d from-scratch index rebuilds; deltas should have maintained both indexes", st.rebuilds-2)
+	if got := st.rebuilds.Load(); got != 2 {
+		t.Fatalf("live ingest triggered %d from-scratch index rebuilds; deltas should have maintained both indexes", got-2)
 	}
 
 	// The pre-ingest references must still resolve to the same events:
 	// sealing rewrites order indexes, never rows.
 	for i, ref := range refs {
 		var got Event
-		st.shards[ref.shard].view(int(ref.row), &got)
+		st.view().shards[ref.shard].view(int(ref.row), &got)
 		if !reflect.DeepEqual(got, wantEvents[i]) {
 			t.Fatalf("rowRef %d resolved to a different event after live ingest", i)
 		}
@@ -240,8 +259,94 @@ func TestLiveIngestNoRebuilds(t *testing.T) {
 	if got := st.Query().CountByDay(); !reflect.DeepEqual(got, wantDay) {
 		t.Fatal("post-seal CountByDay disagrees with a full recount")
 	}
-	if st.rebuilds != 2 {
-		t.Fatalf("query traffic after seal triggered rebuilds (%d)", st.rebuilds-2)
+	if got := st.rebuilds.Load(); got != 2 {
+		t.Fatalf("query traffic after seal triggered rebuilds (%d)", got-2)
+	}
+}
+
+// TestStaleLazyBuildIsAdopted: a lazy index built against a view that
+// further ingest has already superseded must still be adopted — the
+// writer catches it up from the build's sealed watermarks — so a busy
+// writer can never starve adoption into rebuild-per-view behavior.
+func TestStaleLazyBuildIsAdopted(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	evs := randomEvents(rng, 3000)
+	st := NewStore(evs[:1000])
+	st.Seal()
+	stale := st.view()
+
+	// Ingest moves on before any reader finishes a build: the store
+	// publishes new views (with new sealed rows) that carry no lazy
+	// results.
+	st.AddBatch(evs[1000:2000])
+	st.Seal()
+
+	// Now a reader completes its builds against the STALE view.
+	stale.countsFor()
+	stale.tgtFor()
+	if got := st.rebuilds.Load(); got != 2 {
+		t.Fatalf("stale-view builds counted %d rebuilds, want 2", got)
+	}
+
+	// The next mutation must adopt both builds, delta them up to the
+	// current sealed rows, and maintain them from then on.
+	st.AddBatch(evs[2000:])
+	st.Seal()
+
+	if n := st.Query().Count(); n != 3000 {
+		t.Fatalf("post-adoption Count = %d, want 3000", n)
+	}
+	target := evs[2500].Target
+	fresh := NewStore(evs)
+	if got, want := st.Query().Target(target).Events(), fresh.Query().Target(target).Events(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-adoption target query resolves %d events, want %d", len(got), len(want))
+	}
+	if got, want := st.Query().CountByVector(), fresh.Query().CountByVector(); got != want {
+		t.Fatal("post-adoption CountByVector diverged from a from-scratch store")
+	}
+	if got := st.rebuilds.Load(); got != 2 {
+		t.Fatalf("adoption failed: query traffic after ingest rebuilt indexes (%d rebuilds, want 2)", got)
+	}
+	assertIndexesMatchRebuild(t, st, evs)
+}
+
+// TestLazyCatchUpAcrossViews: a view published after a registered
+// build (but before any writer adoption) must catch up from that build
+// by watermark deltas — correct results, no extra from-scratch rebuild
+// — even though its own sealed rows have moved past the build's.
+func TestLazyCatchUpAcrossViews(t *testing.T) {
+	rng := rand.New(rand.NewSource(89))
+	evs := randomEvents(rng, 2400)
+	st := NewStore(evs[:1200])
+	st.Seal()
+	v1 := st.view()
+	// More ingest publishes newer views; nothing is registered yet, so
+	// the writer has nothing to adopt.
+	st.AddBatch(evs[1200:])
+	st.Seal()
+	v2 := st.view()
+	if v1 == v2 {
+		t.Fatal("ingest did not publish a new view")
+	}
+
+	// The old view's builds register first...
+	v1.countsFor()
+	v1.tgtFor()
+	if got := st.rebuilds.Load(); got != 2 {
+		t.Fatalf("v1 builds counted %d rebuilds, want 2", got)
+	}
+	// ...and the newer view extends them instead of rebuilding.
+	fresh := NewStore(evs)
+	fresh.Seal()
+	if got, want := v2.countsFor(), fresh.view().countsFor(); !reflect.DeepEqual(got, want) {
+		t.Fatal("caught-up count index diverged from a from-scratch build")
+	}
+	target := evs[1800].Target
+	if got, want := st.Query().Target(target).Events(), fresh.Query().Target(target).Events(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("caught-up target query resolves %d events, want %d", len(got), len(want))
+	}
+	if got := st.rebuilds.Load(); got != 2 {
+		t.Fatalf("newer view rebuilt instead of catching up (%d rebuilds, want 2)", got)
 	}
 }
 

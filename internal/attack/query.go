@@ -5,6 +5,7 @@ import (
 	"iter"
 	"runtime"
 	"slices"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -24,14 +25,19 @@ import (
 // filters are tested against the hot shard columns (~14 bytes per event)
 // and only matching rows are materialized into Event views.
 //
-// Under live ingest, counting terminals answer sealed rows from the
-// delta-maintained indexes and the small pending tails by linear scan;
-// only terminals that need sorted order (Iter, IterByStart, Fold) seal
-// the stores first.
+// Every terminal is a lock-free read: it loads each store's published
+// view once when it starts and runs entirely against that immutable
+// snapshot, so terminals never block — or are blocked by — a concurrent
+// writer, and never mutate store state. Counting terminals answer
+// sealed rows from the incrementally maintained indexes and the small
+// pending tails by linear scan; terminals that need sorted order
+// (Iter, IterByStart, Fold) merge the pending tails on the fly instead
+// of sealing.
 //
-// A Query is single-use and not safe for concurrent execution: terminals
-// may build lazy store indexes or seal pending tails. Fold parallelizes
-// internally and is safe on its own.
+// A Query value is single-use (build a fresh one per execution), and
+// two terminals on the same Query may observe different snapshots if a
+// writer published between them; each terminal is individually
+// consistent.
 type Query struct {
 	stores     []*Store
 	source     int8   // -1 = any
@@ -55,6 +61,18 @@ func (s *Store) Query() *Query { return QueryStores(s) }
 // IterByStart merges them by start time.
 func QueryStores(stores ...*Store) *Query {
 	return &Query{stores: stores, source: -1}
+}
+
+// views snapshots the published view of every store, in store order.
+// Nil stores yield nil entries; empty stores yield the empty view.
+func (q *Query) views() []*view {
+	vs := make([]*view, len(q.stores))
+	for i, st := range q.stores {
+		if st != nil {
+			vs[i] = st.view()
+		}
+	}
+	return vs
 }
 
 // Source keeps only events observed by the given sensor.
@@ -83,7 +101,7 @@ func (q *Query) Days(lo, hi int) *Query {
 }
 
 // Target keeps only events aimed at exactly this address (served from the
-// by-target index).
+// by-target permutations).
 func (q *Query) Target(a netx.Addr) *Query { return q.TargetPrefix(a, 32) }
 
 // TargetPrefix keeps only events whose target falls inside a/bits.
@@ -154,23 +172,35 @@ func (q *Query) shardRange() (lo, hi int) {
 	return clampDay(q.dayLo) / shardDays, clampDay(q.dayHi) / shardDays
 }
 
-// shardMayMatch prunes a shard using its (source, vector) counts.
-func (q *Query) shardMayMatch(sh *shard) bool {
+// mayMatch prunes shard si of the view using its (source, vector)
+// counts — the shard's own when the writer maintains them, or the
+// view's once-per-view tallies for uncounted (segment-opened, never
+// written) shards, so pruning survives the move to non-mutating reads.
+func (q *Query) mayMatch(v *view, si int) bool {
+	sh := v.shards[si]
 	if sh.rows() == 0 {
 		return false
 	}
-	if (q.source < 0 && q.vecMask == 0) || sh.unindexed > 0 {
+	if q.source < 0 && q.vecMask == 0 {
+		return true
+	}
+	counts, unindexed := &sh.counts, sh.unindexed
+	if !sh.counted {
+		t := v.shardTallies()
+		counts, unindexed = &t[si].counts, t[si].unindexed
+	}
+	if unindexed > 0 {
 		return true
 	}
 	for src := 0; src < 2; src++ {
 		if q.source >= 0 && int(q.source) != src {
 			continue
 		}
-		for v := 0; v < NumVectors; v++ {
-			if q.vecMask != 0 && q.vecMask&(1<<v) == 0 {
+		for vec := 0; vec < NumVectors; vec++ {
+			if q.vecMask != 0 && q.vecMask&(1<<vec) == 0 {
 				continue
 			}
-			if sh.counts[src][v] > 0 {
+			if counts[src][vec] > 0 {
 				return true
 			}
 		}
@@ -179,31 +209,30 @@ func (q *Query) shardMayMatch(sh *shard) bool {
 }
 
 // targetRefs collects the (shard, row) handles of every event aimed at
-// the query's exact target: the sealed rows from the by-target index
-// plus a linear scan of the pending tails. When ordered, the refs are
-// returned in (start, shard, row) order — the global (Start, Target)
-// iteration order, since targets are equal and physical row order is
-// arrival order.
-func (q *Query) targetRefs(st *Store, ordered bool) []rowRef {
-	st.ensureTargets()
-	refs := st.targets[q.prefix]
-	var pend []rowRef
-	for si := range st.shards {
-		sh := &st.shards[si]
+// the query's exact target: the sealed rows by binary search over the
+// per-shard by-target permutations, plus a linear scan of the pending
+// tails. When ordered, the refs are returned in (start, shard, row)
+// order — the global (Start, Target) iteration order, since targets are
+// equal and physical row order is arrival order.
+func (q *Query) targetRefs(v *view, ordered bool) []rowRef {
+	tgt := v.tgtFor()
+	var refs []rowRef
+	for si, sh := range v.shards {
+		if p := tgt[si]; len(p) > 0 {
+			lo := sort.Search(len(p), func(k int) bool { return sh.target[p[k]] >= q.prefix })
+			for k := lo; k < len(p) && sh.target[p[k]] == q.prefix; k++ {
+				refs = append(refs, rowRef{int32(si), p[k]})
+			}
+		}
 		for i := sh.sealed; i < sh.rows(); i++ {
 			if sh.target[i] == q.prefix {
-				pend = append(pend, rowRef{int32(si), int32(i)})
+				refs = append(refs, rowRef{int32(si), int32(i)})
 			}
 		}
 	}
-	if len(pend) == 0 && !ordered {
-		return refs
-	}
-	all := make([]rowRef, 0, len(refs)+len(pend))
-	all = append(append(all, refs...), pend...)
 	if ordered {
-		slices.SortFunc(all, func(a, b rowRef) int {
-			if c := cmp.Compare(st.shards[a.shard].start[a.row], st.shards[b.shard].start[b.row]); c != 0 {
+		slices.SortFunc(refs, func(a, b rowRef) int {
+			if c := cmp.Compare(v.shards[a.shard].start[a.row], v.shards[b.shard].start[b.row]); c != 0 {
 				return c
 			}
 			if c := cmp.Compare(a.shard, b.shard); c != 0 {
@@ -212,26 +241,21 @@ func (q *Query) targetRefs(st *Store, ordered bool) []rowRef {
 			return cmp.Compare(a.row, b.row)
 		})
 	}
-	return all
+	return refs
 }
 
-// forEachRow invokes fn for every matching (shard, row) of st. When
-// ordered, the store is sealed first and rows are visited in Iter
-// order (through each shard's order index); unordered visits take the
-// physical layout, which lets counting terminals skip the seal and
-// still see pending-tail rows. Exact-target queries walk the by-target
-// index instead of scanning. When the query carries a predicate,
-// scratch holds the materialized row as fn runs. fn returning false
-// stops the walk; forEachRow reports whether it ran to completion.
-func (q *Query) forEachRow(st *Store, scratch *Event, ordered bool, fn func(sh *shard, i int) bool) bool {
-	if ordered {
-		st.ensureSealed()
-	} else {
-		st.ensureCounted()
-	}
+// forEachRow invokes fn for every matching (shard, row) of the view.
+// When ordered, rows are visited in Iter order — the sealed body
+// through each shard's order index, the pending tail merged in on the
+// fly — without sealing anything; unordered visits take the physical
+// layout. Exact-target queries walk the by-target permutations instead
+// of scanning. When the query carries a predicate, scratch holds the
+// materialized row as fn runs. fn returning false stops the walk;
+// forEachRow reports whether it ran to completion.
+func (q *Query) forEachRow(v *view, scratch *Event, ordered bool, fn func(sh *shard, i int) bool) bool {
 	if q.hasPrefix && q.prefixBits >= 32 {
-		for _, ref := range q.targetRefs(st, ordered) {
-			sh := &st.shards[ref.shard]
+		for _, ref := range q.targetRefs(v, ordered) {
+			sh := v.shards[ref.shard]
 			i := int(ref.row)
 			if !q.matchKey(sh, i) {
 				continue
@@ -249,54 +273,85 @@ func (q *Query) forEachRow(st *Store, scratch *Event, ordered bool, fn func(sh *
 		return true
 	}
 	lo, hi := q.shardRange()
-	for si := lo; si <= hi && si < len(st.shards); si++ {
-		sh := &st.shards[si]
-		if !q.shardMayMatch(sh) {
+	for si := lo; si <= hi && si < len(v.shards); si++ {
+		if !q.mayMatch(v, si) {
 			continue
+		}
+		if !q.scanShard(v.shards[si], scratch, ordered, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// scanShard walks one shard snapshot, in (Start, Target) order when
+// ordered (merging any pending tail on the fly) and physical order
+// otherwise. The predicate-free case keeps the pure columnar loops:
+// only the hot columns are read, nothing is materialized.
+func (q *Query) scanShard(sh *shard, scratch *Event, ordered bool, fn func(sh *shard, i int) bool) bool {
+	if q.pred == nil {
+		if ordered && sh.tail() > 0 {
+			c := newMergeCursor(sh)
+			for i := c.next(); i >= 0; i = c.next() {
+				if q.matchKey(sh, i) && !fn(sh, i) {
+					return false
+				}
+			}
+			return true
 		}
 		ord := sh.ord
 		if !ordered {
 			ord = nil // physical order covers body and tail alike
 		}
-		if q.pred == nil {
-			// Pure columnar scan: only the hot columns are read.
-			if ord == nil {
-				for i, n := 0, sh.rows(); i < n; i++ {
-					if q.matchKey(sh, i) && !fn(sh, i) {
-						return false
-					}
-				}
-			} else {
-				for _, p := range ord {
-					if i := int(p); q.matchKey(sh, i) && !fn(sh, i) {
-						return false
-					}
-				}
-			}
-			continue
-		}
-		visit := func(i int) bool {
-			if !q.matchKey(sh, i) {
-				return true
-			}
-			sh.view(i, scratch)
-			if !q.pred(scratch) {
-				return true
-			}
-			return fn(sh, i)
-		}
 		if ord == nil {
 			for i, n := 0, sh.rows(); i < n; i++ {
-				if !visit(i) {
+				if q.matchKey(sh, i) && !fn(sh, i) {
 					return false
 				}
 			}
-		} else {
-			for _, p := range ord {
-				if !visit(int(p)) {
-					return false
-				}
+			return true
+		}
+		for _, p := range ord {
+			if i := int(p); q.matchKey(sh, i) && !fn(sh, i) {
+				return false
 			}
+		}
+		return true
+	}
+	visit := func(i int) bool {
+		if !q.matchKey(sh, i) {
+			return true
+		}
+		sh.view(i, scratch)
+		if !q.pred(scratch) {
+			return true
+		}
+		return fn(sh, i)
+	}
+	if ordered && sh.tail() > 0 {
+		c := newMergeCursor(sh)
+		for i := c.next(); i >= 0; i = c.next() {
+			if !visit(i) {
+				return false
+			}
+		}
+		return true
+	}
+	ord := sh.ord
+	if !ordered {
+		ord = nil
+	}
+	if ord == nil {
+		for i, n := 0, sh.rows(); i < n; i++ {
+			if !visit(i) {
+				return false
+			}
+		}
+		return true
+	}
+	for _, p := range ord {
+		if !visit(int(p)) {
+			return false
 		}
 	}
 	return true
@@ -304,19 +359,17 @@ func (q *Query) forEachRow(st *Store, scratch *Event, ordered bool, fn func(sh *
 
 // forEachPendingRow visits every pending-tail row matching the columnar
 // filters. The count fast paths answer sealed rows from the
-// delta-maintained indexes and use this to fold in the (at most
+// incrementally maintained indexes and use this to fold in the (at most
 // sealTailMax per shard) rows not yet sealed. Callers guarantee the
 // query has no predicate.
-func (q *Query) forEachPendingRow(st *Store, fn func(sh *shard, i int)) {
+func (q *Query) forEachPendingRow(v *view, fn func(sh *shard, i int)) {
 	lo, hi := q.shardRange()
-	for si := lo; si <= hi && si < len(st.shards); si++ {
-		sh := &st.shards[si]
+	for si := lo; si <= hi && si < len(v.shards); si++ {
+		sh := v.shards[si]
 		if sh.sealed == sh.rows() {
 			continue
 		}
-		// A thawed segment shard that never went through countRows has
-		// zero-valued counts; prune only when they are authoritative.
-		if sh.counted && !q.shardMayMatch(sh) {
+		if !q.mayMatch(v, si) {
 			continue
 		}
 		for i, n := sh.sealed, sh.rows(); i < n; i++ {
@@ -330,17 +383,17 @@ func (q *Query) forEachPendingRow(st *Store, fn func(sh *shard, i int)) {
 // Iter yields matching events store by store, each in (Start, Target)
 // order. The yielded *Event is a per-iteration scratch view materialized
 // from the shard columns: it is valid until the next yield (and its Ports
-// slice aliases store-owned memory, valid until the store is mutated).
+// slice aliases store-owned memory, valid as long as the store is).
 // Callers that retain events across iterations must copy them; use
 // GroupByTarget or Events for retained results.
 func (q *Query) Iter() iter.Seq[*Event] {
 	return func(yield func(*Event) bool) {
 		var scratch Event
-		for _, st := range q.stores {
-			if st == nil || st.length == 0 {
+		for _, v := range q.views() {
+			if v == nil || v.length == 0 {
 				continue
 			}
-			ok := q.forEachRow(st, &scratch, true, func(sh *shard, i int) bool {
+			ok := q.forEachRow(v, &scratch, true, func(sh *shard, i int) bool {
 				if q.pred == nil {
 					sh.view(i, &scratch)
 				}
@@ -357,54 +410,50 @@ func (q *Query) Iter() iter.Seq[*Event] {
 // time (ties favor the earlier store, then per-store order), the order
 // the fusion pipeline consumes for daily stamping. Shard alignment makes
 // this a per-day-range k-way merge over the start columns instead of a
-// global sort; rows are materialized only after they win the merge. The
-// yielded *Event is scratch, valid until the next yield.
+// global sort; rows are materialized only after they win the merge, and
+// pending tails join the merge on the fly. The yielded *Event is
+// scratch, valid until the next yield.
 func (q *Query) IterByStart() iter.Seq[*Event] {
 	return func(yield func(*Event) bool) {
 		lo, hi := q.shardRange()
-		for _, st := range q.stores {
-			if st != nil {
-				st.ensureSealed()
-			}
-		}
-		type cursor struct {
-			sh   *shard
-			i, n int
-		}
+		views := q.views()
 		var scratch Event
-		cursors := make([]cursor, len(q.stores))
+		cursors := make([]mergeCursor, len(views))
 		for si := lo; si <= hi; si++ {
-			for k, st := range q.stores {
-				cursors[k] = cursor{}
-				if st == nil || si >= len(st.shards) {
+			for k, v := range views {
+				cursors[k] = mergeCursor{}
+				if v == nil || si >= len(v.shards) {
 					continue
 				}
-				if sh := &st.shards[si]; q.shardMayMatch(sh) {
-					cursors[k] = cursor{sh: sh, n: sh.rows()}
+				if q.mayMatch(v, si) {
+					cursors[k] = newMergeCursor(v.shards[si])
 				}
 			}
 			for {
-				best := -1
+				best, bestRow := -1, -1
 				var bestStart int64
 				for k := range cursors {
 					c := &cursors[k]
-					if c.i >= c.n {
+					if c.sh == nil {
 						continue
 					}
-					if s := c.sh.start[c.sh.ordRow(c.i)]; best < 0 || s < bestStart {
-						best, bestStart = k, s
+					row := c.peek()
+					if row < 0 {
+						continue
+					}
+					if s := c.sh.start[row]; best < 0 || s < bestStart {
+						best, bestRow, bestStart = k, row, s
 					}
 				}
 				if best < 0 {
 					break
 				}
 				c := &cursors[best]
-				i := c.sh.ordRow(c.i)
-				c.i++
-				if !q.matchKey(c.sh, i) {
+				c.advance()
+				if !q.matchKey(c.sh, bestRow) {
 					continue
 				}
-				c.sh.view(i, &scratch)
+				c.sh.view(bestRow, &scratch)
 				if q.pred != nil && !q.pred(&scratch) {
 					continue
 				}
@@ -444,30 +493,30 @@ func (q *Query) GroupByTarget() map[netx.Addr][]*Event {
 // Count returns the number of matching events. Queries filtering only on
 // source, vector, and day range are answered from the per-day count index
 // plus a linear scan of the pending tails, without sealing or re-sorting
-// anything; exact-target queries from the by-target index. Everything
-// else is a columnar scan over the hot columns that materializes no
-// events (unless a predicate forces it).
+// anything; exact-target queries from the by-target permutations.
+// Everything else is a columnar scan over the hot columns that
+// materializes no events (unless a predicate forces it).
 func (q *Query) Count() int {
 	n := 0
-	for _, st := range q.stores {
-		if st == nil || st.length == 0 {
+	for _, v := range q.views() {
+		if v == nil || v.length == 0 {
 			continue
 		}
-		n += q.countStore(st)
+		n += q.countView(v)
 	}
 	return n
 }
 
-func (q *Query) countStore(st *Store) int {
+func (q *Query) countView(v *view) int {
 	if !q.hasPrefix && q.pred == nil {
-		if n, ok := q.countViaIndex(st, nil); ok {
-			q.forEachPendingRow(st, func(*shard, int) { n++ })
+		if n, ok := q.countViaIndex(v.countsFor(), nil); ok {
+			q.forEachPendingRow(v, func(*shard, int) { n++ })
 			return n
 		}
 	}
 	n := 0
 	var scratch Event
-	q.forEachRow(st, &scratch, false, func(*shard, int) bool { n++; return true })
+	q.forEachRow(v, &scratch, false, func(*shard, int) bool { n++; return true })
 	return n
 }
 
@@ -477,9 +526,7 @@ func (q *Query) countStore(st *Store) int {
 // per-vector totals. ok is false when the index cannot answer exactly
 // (events with out-of-range enum values, or a day filter straddling the
 // window edge while out-of-window events exist).
-func (q *Query) countViaIndex(st *Store, perVec *[NumVectors]int) (n int, ok bool) {
-	st.ensureCounts()
-	c := st.counts
+func (q *Query) countViaIndex(c *countsIndex, perVec *[NumVectors]int) (n int, ok bool) {
 	if c.unindexed > 0 {
 		return 0, false
 	}
@@ -532,13 +579,13 @@ func (q *Query) countViaIndex(st *Store, perVec *[NumVectors]int) (n int, ok boo
 // with out-of-range vector values are not counted.
 func (q *Query) CountByVector() [NumVectors]int {
 	var out [NumVectors]int
-	for _, st := range q.stores {
-		if st == nil || st.length == 0 {
+	for _, v := range q.views() {
+		if v == nil || v.length == 0 {
 			continue
 		}
 		if !q.hasPrefix && q.pred == nil {
-			if _, ok := q.countViaIndex(st, &out); ok {
-				q.forEachPendingRow(st, func(sh *shard, i int) {
+			if _, ok := q.countViaIndex(v.countsFor(), &out); ok {
+				q.forEachPendingRow(v, func(sh *shard, i int) {
 					if vec := int(sh.key[i] & 0xff); vec < NumVectors {
 						out[vec]++
 					}
@@ -547,7 +594,7 @@ func (q *Query) CountByVector() [NumVectors]int {
 			}
 		}
 		var scratch Event
-		q.forEachRow(st, &scratch, false, func(sh *shard, i int) bool {
+		q.forEachRow(v, &scratch, false, func(sh *shard, i int) bool {
 			if vec := int(sh.key[i] & 0xff); vec < NumVectors {
 				out[vec]++
 			}
@@ -570,27 +617,26 @@ func (q *Query) CountByDay() []int {
 		}
 		dlo, dhi = clampDay(q.dayLo), clampDay(q.dayHi)
 	}
-	for _, st := range q.stores {
-		if st == nil || st.length == 0 {
+	for _, v := range q.views() {
+		if v == nil || v.length == 0 {
 			continue
 		}
 		if !q.hasPrefix && q.pred == nil {
-			st.ensureCounts()
-			if c := st.counts; c.unindexed == 0 {
+			if c := v.countsFor(); c.unindexed == 0 {
 				for d := dlo; d <= dhi; d++ {
 					for src := 0; src < 2; src++ {
 						if q.source >= 0 && int(q.source) != src {
 							continue
 						}
-						for v := 0; v < NumVectors; v++ {
-							if q.vecMask != 0 && q.vecMask&(1<<v) == 0 {
+						for vec := 0; vec < NumVectors; vec++ {
+							if q.vecMask != 0 && q.vecMask&(1<<vec) == 0 {
 								continue
 							}
-							out[d] += int(c.day[d][src][v])
+							out[d] += int(c.day[d][src][vec])
 						}
 					}
 				}
-				q.forEachPendingRow(st, func(sh *shard, i int) {
+				q.forEachPendingRow(v, func(sh *shard, i int) {
 					if d := DayOf(sh.start[i]); d >= 0 && d < WindowDays {
 						out[d]++
 					}
@@ -599,7 +645,7 @@ func (q *Query) CountByDay() []int {
 			}
 		}
 		var scratch Event
-		q.forEachRow(st, &scratch, false, func(sh *shard, i int) bool {
+		q.forEachRow(v, &scratch, false, func(sh *shard, i int) bool {
 			if d := DayOf(sh.start[i]); d >= 0 && d < WindowDays {
 				out[d]++
 			}
@@ -616,6 +662,10 @@ func (q *Query) CountByDay() []int {
 // is deterministic for any GOMAXPROCS as long as acc is order-independent
 // across shards or merge is associative in shard order.
 //
+// Fold snapshots every store's published view once, up front: all tasks
+// see the same consistent data regardless of concurrent ingest, and no
+// seal or index build runs on its account.
+//
 // The *Event passed to acc is a per-task scratch view, valid only for the
 // duration of that acc call; accumulators that retain events must copy
 // them.
@@ -625,18 +675,14 @@ func (q *Query) CountByDay() []int {
 // per-day dedup sets) are safe to keep in the partial.
 func Fold[T any](q *Query, init func() T, acc func(T, *Event) T, merge func(T, T) T) T {
 	lo, hi := q.shardRange()
-	for _, st := range q.stores {
-		if st != nil {
-			st.ensureSealed()
-		}
-	}
+	views := q.views()
 	var tasks []int
 	for si := lo; si <= hi; si++ {
-		for _, st := range q.stores {
-			if st == nil || si >= len(st.shards) {
+		for _, v := range views {
+			if v == nil || si >= len(v.shards) {
 				continue
 			}
-			if q.shardMayMatch(&st.shards[si]) {
+			if q.mayMatch(v, si) {
 				tasks = append(tasks, si)
 				break
 			}
@@ -647,16 +693,16 @@ func Fold[T any](q *Query, init func() T, acc func(T, *Event) T, merge func(T, T
 		si := tasks[ti]
 		val := init()
 		var scratch Event
-		for _, st := range q.stores {
-			if st == nil || si >= len(st.shards) {
+		for _, v := range views {
+			if v == nil || si >= len(v.shards) {
 				continue
 			}
-			sh := &st.shards[si]
-			if !q.shardMayMatch(sh) {
+			if !q.mayMatch(v, si) {
 				continue
 			}
-			for k, n := 0, sh.rows(); k < n; k++ {
-				i := sh.ordRow(k)
+			sh := v.shards[si]
+			c := newMergeCursor(sh)
+			for i := c.next(); i >= 0; i = c.next() {
 				if !q.matchKey(sh, i) {
 					continue
 				}

@@ -61,11 +61,14 @@ func (s *Store) PlanStore(Plan) (*Store, io.Closer, error) { return s, nopCloser
 // what a federation site ships for iteration terminals — the matching
 // subset of its store, re-encoded as a DOSEVT02 segment.
 func (q *Query) Collect() *Store {
-	out := &Store{}
+	// Accumulate, then build with one batch: the intermediate events may
+	// alias source arenas (stable for the life of the source stores),
+	// and AddBatch copies the ports out when it builds the new arenas.
+	var evs []Event
 	for e := range q.Iter() {
-		out.Add(*e)
+		evs = append(evs, *e)
 	}
-	return out
+	return NewStore(evs)
 }
 
 // FedQuery is a Query-shaped plan over a mix of Queryable backends —

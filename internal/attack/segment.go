@@ -76,13 +76,15 @@ var hostLittle = func() bool {
 
 // --- writer ----------------------------------------------------------
 
-// WriteSegment writes the store in the DOSEVT02 segment format. The
-// store is sealed first, and shards whose live order index is a
-// non-identity permutation are gathered into sorted temporaries on the
-// way out, so blocks always land physically in (start, target) order
-// and reopen with no order index at all.
+// WriteSegment writes the store in the DOSEVT02 segment format. It is
+// a pure read against the published view — safe under concurrent
+// ingest, capturing an atomic snapshot of whole mutations: shards whose
+// snapshot is not physically sorted (a live order index, or pending
+// tail rows) are gathered through a merged permutation on the way out,
+// so blocks always land physically in (start, target) order and reopen
+// with no order index at all.
 func (s *Store) WriteSegment(w io.Writer) error {
-	s.ensureSealed()
+	v := s.view()
 	bw := bufio.NewWriterSize(w, 1<<16)
 	if _, err := bw.WriteString(segMagic); err != nil {
 		return err
@@ -92,21 +94,21 @@ func (s *Store) WriteSegment(w io.Writer) error {
 	off := uint64(len(segMagic))
 	var pad [8]byte
 	for si := 0; si < numShards; si++ {
-		if si >= len(s.shards) || s.shards[si].rows() == 0 {
+		if si >= len(v.shards) || v.shards[si].rows() == 0 {
 			continue
 		}
-		sh := &s.shards[si]
+		sh := v.shards[si]
 		start, end, packets, bts := sh.start, sh.end, sh.packets, sh.bytes
 		maxPPS, avgRPS, target, key := sh.maxPPS, sh.avgRPS, sh.target, sh.key
 		portOff, portLen := sh.portOff, sh.portLen
-		if sh.ord != nil {
+		if perm := sh.fullOrd(); perm != nil {
 			// Row permutation only: arena entries never move, the
 			// (offset, length) references stay valid as written.
-			start, end = gather(sh.start, sh.ord), gather(sh.end, sh.ord)
-			packets, bts = gather(sh.packets, sh.ord), gather(sh.bytes, sh.ord)
-			maxPPS, avgRPS = gather(sh.maxPPS, sh.ord), gather(sh.avgRPS, sh.ord)
-			target, key = gather(sh.target, sh.ord), gather(sh.key, sh.ord)
-			portOff, portLen = gather(sh.portOff, sh.ord), gather(sh.portLen, sh.ord)
+			start, end = gather(sh.start, perm), gather(sh.end, perm)
+			packets, bts = gather(sh.packets, perm), gather(sh.bytes, perm)
+			maxPPS, avgRPS = gather(sh.maxPPS, perm), gather(sh.avgRPS, perm)
+			target, key = gather(sh.target, perm), gather(sh.key, perm)
+			portOff, portLen = gather(sh.portOff, perm), gather(sh.portLen, perm)
 		}
 		r, a := uint64(sh.rows()), uint64(len(sh.arena))
 		metas[si] = segMeta{off, r, a}
@@ -139,7 +141,7 @@ func (s *Store) WriteSegment(w io.Writer) error {
 	}
 	binary.LittleEndian.PutUint64(scratch[0:8], off)
 	binary.LittleEndian.PutUint64(scratch[8:16], numShards)
-	binary.LittleEndian.PutUint64(scratch[16:24], uint64(s.length))
+	binary.LittleEndian.PutUint64(scratch[16:24], uint64(v.length))
 	if _, err := bw.Write(scratch[:]); err != nil {
 		return err
 	}
@@ -290,6 +292,10 @@ func OpenSegment(data []byte) (*Store, error) {
 		return nil, segErr("shard rows sum to %d, trailer says %d", sum, totalRows)
 	}
 	s.length = int(sum)
+	// Publish the initial view so the opened store serves lock-free
+	// reads like any other; the snapshots alias the segment memory, so
+	// the data must stay mapped while the store is in use.
+	s.publish()
 	return s, nil
 }
 

@@ -6,8 +6,11 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"slices"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"doscope/internal/netx"
 )
@@ -63,35 +66,288 @@ type rowRef struct {
 	row   int32
 }
 
+// view is one published, immutable snapshot of a store: the shard
+// snapshots (value copies of the shard headers — the column backing
+// arrays are shared, which is safe because rows are append-only and
+// permutation merges never rewrite entries below a published length),
+// the event count and version, and the count index covering the sealed
+// rows. The writer swaps a fresh view into Store.pub on every mutation;
+// readers load it once per terminal and run against it lock-free.
+//
+// A view additionally owns the once-per-view lazy indexes: when the
+// writer has never adopted an index, the first reader that needs it
+// builds it here — from the view's own immutable data, coordinated by a
+// sync.Once so concurrent readers share one build — and the writer
+// adopts the result on its next mutation (see Store.adoptLazy).
+type view struct {
+	owner   *Store
+	shards  []*shard // aliases shardArr; nil only for the empty view
+	length  int
+	version uint64
+
+	// shardArr backs the shards slice inline so a publication is two
+	// allocations (view + dirty-shard snapshot), not three. Snapshots
+	// themselves stay separate heap objects: embedding them here would
+	// chain every view to its predecessor and leak the whole history.
+	shardArr [numShards]*shard
+
+	// counts is the writer-maintained per-day index (nil until a reader
+	// build has been adopted). It covers exactly the sealed rows.
+	counts *countsIndex
+
+	lazyCountsOnce sync.Once
+	lazyCounts     atomic.Pointer[countsIndex]
+	lazyTgtOnce    sync.Once
+	lazyTgt        atomic.Pointer[[][]int32]
+	lazyTallyOnce  sync.Once
+	lazyTally      atomic.Pointer[[]shardTally]
+}
+
+// shardTally is a read-side substitute for a shard's per-(source,
+// vector) counts when the shard itself is uncounted (opened from a
+// segment and never written): scans use it to keep pruning shards a
+// filter cannot match. It covers ALL rows, tail included, like the
+// writer-maintained counts.
+type shardTally struct {
+	counts    [2][NumVectors]int
+	unindexed int
+}
+
+// shardTallies returns per-shard pruning tallies for the view's
+// uncounted shards, built once per view on first use. For the static
+// mmap-opened store (the doscope -load-events shape) the view never
+// changes, so this is one key-column pass for the store's lifetime —
+// the same cost the old read-side countRows paid, without mutating the
+// shard. Counted shards keep zero entries here and are pruned through
+// their own counts.
+func (v *view) shardTallies() []shardTally {
+	v.lazyTallyOnce.Do(func() {
+		out := make([]shardTally, len(v.shards))
+		for si, sh := range v.shards {
+			if sh.counted {
+				continue
+			}
+			t := &out[si]
+			for _, k := range sh.key {
+				src, vec := int(k>>8), int(k&0xff)
+				if src < 2 && vec < NumVectors {
+					t.counts[src][vec]++
+				} else {
+					t.unindexed++
+				}
+			}
+		}
+		v.lazyTally.Store(&out)
+	})
+	return *v.lazyTally.Load()
+}
+
+// emptyView serves reads against a store that has never published.
+var emptyView view
+
+// iterAll yields every event of the view in per-shard (Start, Target)
+// order — the store-major order Iter uses — as a reused scratch view,
+// merging pending tails on the fly. It backs the deprecated Events shim
+// and the binary writers, which must iterate the exact snapshot whose
+// length they recorded.
+func (v *view) iterAll(yield func(*Event) bool) {
+	var e Event
+	for _, sh := range v.shards {
+		c := newMergeCursor(sh)
+		for i := c.next(); i >= 0; i = c.next() {
+			sh.view(i, &e)
+			if !yield(&e) {
+				return
+			}
+		}
+	}
+}
+
+// pendingRows reports how many rows are still in pending tails.
+func (v *view) pendingRows() int {
+	n := 0
+	for _, sh := range v.shards {
+		n += sh.tail()
+	}
+	return n
+}
+
+// builtCounts is a finished reader-side count-index build offered to
+// the writer for adoption. sealedAt records, per shard, exactly how
+// many sealed rows the index covers — the watermark the writer deltas
+// from — so a build is adoptable even when the view it was computed
+// against has long been superseded by further ingest.
+type builtCounts struct {
+	c        *countsIndex
+	sealedAt [numShards]int32
+}
+
+// countsFor returns the per-day count index covering the view's sealed
+// rows: the writer-maintained one when the store has adopted it,
+// otherwise a once-per-view reader-side result. A finished from-scratch
+// build registers itself on the store (first build wins); both the
+// writer (on its next mutation) and every LATER view catch up from the
+// registered build with per-shard watermark deltas instead of
+// rebuilding, so under any read/write interleaving the store pays for
+// one from-scratch count build plus cheap catch-ups — only a reader
+// still holding a view older than the first completed build may pay an
+// extra full build.
+func (v *view) countsFor() *countsIndex {
+	if v.counts != nil {
+		return v.counts
+	}
+	v.lazyCountsOnce.Do(func() {
+		var c *countsIndex
+		if v.owner != nil {
+			if b := v.owner.builtCounts.Load(); b != nil && v.atOrAfter(&b.sealedAt) {
+				c = b.c.clone()
+				for si, sh := range v.shards {
+					for i := int(b.sealedAt[si]); i < sh.sealed; i++ {
+						countDelta(c, sh.key[i], sh.start[i], 1)
+					}
+				}
+			}
+		}
+		if c == nil {
+			c = &countsIndex{day: make([][2][NumVectors]int32, WindowDays)}
+			var b builtCounts
+			b.c = c
+			for si, sh := range v.shards {
+				for i := 0; i < sh.sealed; i++ {
+					countDelta(c, sh.key[i], sh.start[i], 1)
+				}
+				b.sealedAt[si] = int32(sh.sealed)
+			}
+			if v.owner != nil {
+				v.owner.rebuilds.Add(1)
+				v.owner.builtCounts.CompareAndSwap(nil, &b)
+			}
+		}
+		v.lazyCounts.Store(c)
+	})
+	return v.lazyCounts.Load()
+}
+
+// atOrAfter reports whether every shard of the view has sealed at least
+// up to the build watermarks — i.e. the view was published at or after
+// the state the registered build covers, so catching up only needs
+// positive deltas over rows this snapshot can actually see.
+func (v *view) atOrAfter(sealedAt *[numShards]int32) bool {
+	for si, sh := range v.shards {
+		if sh.sealed < int(sealedAt[si]) {
+			return false
+		}
+	}
+	return true
+}
+
+// tgtFor returns the per-shard by-target permutations covering the
+// view's sealed rows, reusing writer-maintained permutations where they
+// exist and building the rest once per view — from the registered build
+// (extended by a sorted-merge over the rows sealed since, each
+// permutation's length being its own watermark) when one exists, from
+// scratch otherwise.
+func (v *view) tgtFor() [][]int32 {
+	v.lazyTgtOnce.Do(func() {
+		var reg [][]int32
+		if v.owner != nil {
+			if tg := v.owner.builtTgt.Load(); tg != nil && len(*tg) == len(v.shards) {
+				reg = *tg
+			}
+		}
+		built := false
+		out := make([][]int32, len(v.shards))
+		for si, sh := range v.shards {
+			switch {
+			case sh.sealed == 0:
+			case len(sh.tgt) == sh.sealed:
+				out[si] = sh.tgt
+			case reg != nil && len(reg[si]) == sh.sealed:
+				out[si] = reg[si]
+			case reg != nil && len(reg[si]) < sh.sealed:
+				out[si] = sh.mergeTgtPerms(reg[si], sh.sortedTgtRows(len(reg[si]), sh.sealed))
+			default:
+				built = true
+				out[si] = sh.sortedTgtRows(0, sh.sealed)
+			}
+		}
+		if v.owner != nil && built {
+			v.owner.rebuilds.Add(1)
+			v.owner.builtTgt.CompareAndSwap(nil, &out)
+		}
+		v.lazyTgt.Store(&out)
+	})
+	return *v.lazyTgt.Load()
+}
+
 // Store holds attack events sharded by day-of-window. Each shard keeps
 // its events in a columnar struct-of-arrays layout (see shard): a sorted
 // body addressed through an order index plus a small unsorted pending
 // tail that absorbs appends. The by-target and per-day count indexes are
-// built lazily on first use and from then on maintained incrementally:
-// sealing a shard applies index deltas for the newly sealed rows only,
-// so mutation cost is proportional to the delta, not the store. Access
-// events through Query; the Events slice contract is retained only as a
+// built from scratch at most once (by the first reader that needs them)
+// and from then on maintained incrementally by the writer: sealing a
+// shard applies index deltas for the newly sealed rows only, so mutation
+// cost is proportional to the delta, not the store. Access events
+// through Query; the Events slice contract is retained only as a
 // deprecated compatibility shim.
 //
-// A Store is not safe for concurrent use without external
-// synchronization: even read paths may build lazy indexes or seal
-// pending tails. Fold parallelizes internally after sealing the lazy
-// state and is safe on its own.
+// Concurrency: a Store is safe for any number of concurrent readers
+// alongside writers. Mutators (Add, AddBatch, Seal) serialize on an
+// internal mutex, mutate writer-private state, and atomically publish an
+// immutable view; every query terminal runs lock-free against the view
+// current when it started, so a reader observes a clean prefix of whole
+// mutations — an AddBatch becomes visible all at once, never partially —
+// and no read path ever takes a lock, seals a tail, or mutates shard
+// state.
 type Store struct {
+	// pub is the published immutable view readers load. It is only ever
+	// swapped by a writer holding mu.
+	pub atomic.Pointer[view]
+
+	mu sync.Mutex // serializes mutators; never taken by readers
+
+	// Writer-private canonical state, guarded by mu.
 	shards  []shard
 	length  int
 	version uint64
+	dirty   []bool // per-shard: touched since the last publish
 
-	// rebuilds counts from-scratch index constructions (the lazy first
-	// build of counts or targets). Incremental maintenance never
-	// increments it: tests assert that live ingest after the first
-	// build leaves it unchanged.
-	rebuilds uint64
+	// counts is the canonical per-day index once adopted (nil before).
+	// countsShared marks it as referenced by a published view: the next
+	// delta application clones it first (copy-on-write), so published
+	// cells are never rewritten.
+	counts       *countsIndex
+	countsShared bool
+	// tgtMaintained marks the per-shard by-target permutations as
+	// adopted: seals merge into them from then on.
+	tgtMaintained bool
+	// shardsCounted marks the one-time writer-side counting pass over
+	// segment-opened shards as done (heap shards count incrementally
+	// from their first append).
+	shardsCounted bool
 
-	// Lazily built on first use, then maintained by seal deltas. Both
-	// cover exactly rows [0, shard.sealed) of every shard.
-	counts  *countsIndex
-	targets map[netx.Addr][]rowRef
+	// builtCounts and builtTgt are finished reader-side index builds
+	// waiting for writer adoption (registered by the first build to
+	// complete, from whatever view it ran against; the writer deltas
+	// them up to date when it adopts).
+	builtCounts atomic.Pointer[builtCounts]
+	builtTgt    atomic.Pointer[[][]int32]
+
+	// rebuilds counts from-scratch index constructions (the once-per-
+	// lifetime lazy builds); sealOps counts shard seals. Incremental
+	// maintenance never touches rebuilds, and no read path touches
+	// either: tests assert both stay put under pure query traffic.
+	rebuilds atomic.Uint64
+	sealOps  atomic.Uint64
+}
+
+// view returns the current published snapshot (an empty one for a store
+// that has never been written).
+func (s *Store) view() *view {
+	if v := s.pub.Load(); v != nil {
+		return v
+	}
+	return &emptyView
 }
 
 // NewStore builds a store from events (which it copies).
@@ -101,41 +357,189 @@ func NewStore(events []Event) *Store {
 	return s
 }
 
-// Add appends an event to its shard's pending tail. The shard is sealed
-// automatically once the tail reaches sealTailMax rows; until then the
-// row is visible to every query via a linear tail scan. No index is
-// invalidated and nothing is re-sorted: the append itself is O(1), and
-// the amortized seal share is bounded by the size of one day-range
-// shard over sealTailMax (see sealTailMax), not by the store.
-func (s *Store) Add(e Event) {
+// beginWrite prepares writer state for a mutation: allocates the shard
+// array on first use, gives segment-opened shards their one counting
+// pass (so pruning stops depending on per-view read-side tallies the
+// moment the store takes writes), and adopts any registered
+// reader-built lazy indexes, so this mutation's seal deltas keep them
+// current instead of forcing readers to rebuild per view. It reports
+// whether an index was adopted, so Seal knows adoption alone warrants a
+// publication.
+func (s *Store) beginWrite() (adopted bool) {
 	if s.shards == nil {
 		s.shards = make([]shard, numShards)
 	}
+	if s.dirty == nil {
+		s.dirty = make([]bool, numShards)
+	}
+	if !s.shardsCounted {
+		for si := range s.shards {
+			if sh := &s.shards[si]; sh.rows() > 0 && !sh.counted {
+				sh.countRows()
+				s.dirty[si] = true
+			}
+		}
+		s.shardsCounted = true
+	}
+	return s.adoptLazy()
+}
+
+// adoptLazy promotes registered reader-built indexes into
+// writer-maintained state. A build is registered with per-shard sealed
+// watermarks, and rows seal strictly in physical order, so whatever
+// sealed after the build ran is exactly the physical rows
+// [watermark, sealed) of each shard — the writer catches the index up
+// with deltas over just those rows, even if many mutations were
+// published since the build's view. Adoption therefore cannot be
+// starved by a busy writer: any completed build is eventually adopted
+// and maintained by seal deltas from then on. The adopted structures
+// stay shared with published readers — the count index is cloned
+// before any delta, and the by-target permutations are extended with
+// the same non-destructive append-or-reallocate merges sealing uses.
+func (s *Store) adoptLazy() (adopted bool) {
+	if s.counts == nil {
+		if b := s.builtCounts.Load(); b != nil {
+			c, shared := b.c, true
+			for si := range s.shards {
+				sh := &s.shards[si]
+				lo := int(b.sealedAt[si])
+				if lo >= sh.sealed {
+					continue
+				}
+				if shared {
+					c, shared = c.clone(), false
+				}
+				for i := lo; i < sh.sealed; i++ {
+					countDelta(c, sh.key[i], sh.start[i], 1)
+				}
+			}
+			s.counts, s.countsShared = c, shared
+			// Drop the registration: re-adoption is gated on s.counts,
+			// so holding the build would only pin dead memory.
+			s.builtCounts.Store(nil)
+			adopted = true
+		}
+	} else if s.builtCounts.Load() != nil {
+		// A reader still holding a pre-adoption view registered a build
+		// after the writer adopted; nothing will ever consume it.
+		s.builtCounts.Store(nil)
+	}
+	if !s.tgtMaintained {
+		if tg := s.builtTgt.Load(); tg != nil && len(*tg) == len(s.shards) {
+			for si := range s.shards {
+				sh := &s.shards[si]
+				if p := (*tg)[si]; len(p) > 0 || sh.sealed > 0 {
+					sh.tgt = p
+					if len(p) < sh.sealed {
+						sh.sealTgt(len(p), sh.sealed)
+					}
+					s.dirty[si] = true
+				}
+			}
+			s.tgtMaintained = true
+			s.builtTgt.Store(nil)
+			adopted = true
+		}
+	} else if s.builtTgt.Load() != nil {
+		s.builtTgt.Store(nil)
+	}
+	return adopted
+}
+
+// ownCounts makes the canonical count index writable: if the current
+// pointer is shared with a published view it is cloned first, so
+// readers of that view keep consistent cells.
+func (s *Store) ownCounts() {
+	if s.countsShared {
+		s.counts = s.counts.clone()
+		s.countsShared = false
+	}
+}
+
+// clone deep-copies the index (the day slice is the only reference).
+func (c *countsIndex) clone() *countsIndex {
+	cp := *c
+	cp.day = slices.Clone(c.day)
+	return &cp
+}
+
+// ingest appends one event to its shard and marks the shard dirty.
+func (s *Store) ingest(e *Event) int {
 	si := shardOf(e.Start)
-	s.shards[si].appendRow(&e)
+	s.shards[si].appendRow(e)
+	s.dirty[si] = true
+	return si
+}
+
+// publish snapshots every dirty shard and swaps a fresh view in. Shard
+// snapshots are value copies of the shard header (slice headers and the
+// per-shard count array); the column arrays are shared with the
+// canonical state, which only ever appends past the snapshotted lengths
+// or replaces whole permutation slices — never rewrites what a
+// published header can reach.
+func (s *Store) publish() {
+	prev := s.pub.Load()
+	nv := &view{owner: s, length: s.length, version: s.version, counts: s.counts}
+	nv.shards = nv.shardArr[:len(s.shards)]
+	if prev != nil && len(prev.shards) == len(s.shards) {
+		copy(nv.shards, prev.shards)
+		for si, d := range s.dirty {
+			if d {
+				snap := s.shards[si]
+				nv.shards[si] = &snap
+			}
+		}
+	} else {
+		for si := range s.shards {
+			snap := s.shards[si]
+			nv.shards[si] = &snap
+		}
+	}
+	for si := range s.dirty {
+		s.dirty[si] = false
+	}
+	s.countsShared = s.counts != nil
+	s.pub.Store(nv)
+}
+
+// Add appends an event to its shard's pending tail and publishes a new
+// view making it visible to every subsequent query. The shard is sealed
+// automatically once the tail reaches sealTailMax rows; until then the
+// row is served by a linear tail scan. No index is invalidated and
+// nothing is re-sorted: the append itself is O(1) plus one shard
+// snapshot for publication, and the amortized seal share is bounded by
+// the size of one day-range shard over sealTailMax (see sealTailMax),
+// not by the store.
+func (s *Store) Add(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.beginWrite()
+	si := s.ingest(&e)
 	s.length++
 	s.version++
 	if s.shards[si].tail() >= sealTailMax {
 		s.sealShard(si)
 	}
+	s.publish()
 }
 
 // AddBatch appends a batch of events, checking the seal threshold once
 // per shard after the whole batch instead of once per event: a shard
 // that receives many batch rows is merged and index-delta'd once,
-// amortizing the per-shard seal work across the batch. This is the
-// preferred ingest path for periodic flushes (e.g. the amppot live
-// pipeline); small flushes simply park in the pending tails, which
-// every query sees.
+// amortizing the per-shard seal work across the batch. The batch is
+// published atomically — concurrent readers see either none or all of
+// it. This is the preferred ingest path for periodic flushes (e.g. the
+// amppot live pipeline); small flushes simply park in the pending
+// tails, which every query sees.
 func (s *Store) AddBatch(events []Event) {
 	if len(events) == 0 {
 		return
 	}
-	if s.shards == nil {
-		s.shards = make([]shard, numShards)
-	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.beginWrite()
 	for i := range events {
-		s.shards[shardOf(events[i].Start)].appendRow(&events[i])
+		s.ingest(&events[i])
 	}
 	s.length += len(events)
 	s.version += uint64(len(events))
@@ -144,19 +548,21 @@ func (s *Store) AddBatch(events []Event) {
 			s.sealShard(si)
 		}
 	}
+	s.publish()
 }
 
 // Version counts mutations: it increments on every Add (and by the
 // batch size on AddBatch). Consumers caching results derived from a
 // store can compare versions to detect staleness instead of
 // invalidating on every call.
-func (s *Store) Version() uint64 { return s.version }
+func (s *Store) Version() uint64 { return s.view().version }
 
 // sealShard merges shard si's pending tail into its sorted body and
 // applies index deltas for the newly sealed rows: countsIndex day/out
-// cells are incremented and by-target references appended for the new
-// rows only. Existing references stay valid — sealing rewrites the
-// order index, never the rows.
+// cells are incremented (on a private clone if the index is shared with
+// a published view) and by-target permutations merged, for the new rows
+// only. Existing references stay valid — sealing rewrites order
+// indexes, never the rows. Callers hold mu.
 func (s *Store) sealShard(si int) {
 	sh := &s.shards[si]
 	lo := sh.sealed
@@ -164,15 +570,13 @@ func (s *Store) sealShard(si int) {
 	if lo == n {
 		return
 	}
-	sh.seal()
+	sh.seal(s.tgtMaintained)
+	s.sealOps.Add(1)
+	s.dirty[si] = true
 	if s.counts != nil {
+		s.ownCounts()
 		for i := lo; i < n; i++ {
 			countDelta(s.counts, sh.key[i], sh.start[i], 1)
-		}
-	}
-	if s.targets != nil {
-		for i := lo; i < n; i++ {
-			s.targets[sh.target[i]] = append(s.targets[sh.target[i]], rowRef{int32(si), int32(i)})
 		}
 	}
 }
@@ -192,106 +596,62 @@ func countDelta(c *countsIndex, key uint16, start int64, by int32) {
 	}
 }
 
-// Seal merges every shard's pending tail into its sorted body and
-// brings the lazy indexes up to date via deltas. Queries that need
-// sorted order (Iter, IterByStart, Fold, Events, the segment writer)
-// seal automatically; counting terminals do not need it and scan the
-// small tails instead.
-func (s *Store) Seal() { s.ensureSealed() }
-
-// ensureSealed seals every shard and refreshes the per-shard counts of
-// segment-opened shards (which arrive sorted but uncounted; they get a
-// single cheap pass over the key column on first use).
-func (s *Store) ensureSealed() {
-	for i := range s.shards {
-		s.sealShard(i)
-		if sh := &s.shards[i]; !sh.counted {
-			sh.countRows()
+// Seal merges every shard's pending tail into its sorted body, brings
+// the adopted indexes up to date via deltas, and publishes the result.
+// Sealing is a writer-side convenience, not a query prerequisite:
+// terminals that need sorted order merge pending tails on the fly, and
+// counting terminals answer from the index plus bounded tail scans.
+func (s *Store) Seal() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.shards == nil {
+		return
+	}
+	adopted := s.beginWrite()
+	for si := range s.shards {
+		if s.shards[si].tail() > 0 {
+			s.sealShard(si)
 		}
 	}
-}
-
-// ensureCounted refreshes per-shard counts without sealing, for scan
-// paths that tolerate pending tails.
-func (s *Store) ensureCounted() {
-	for i := range s.shards {
-		if sh := &s.shards[i]; !sh.counted {
-			sh.countRows()
+	if !adopted {
+		// Adoption alone must publish too: the adopted count index only
+		// reaches readers through a view.
+		for _, d := range s.dirty {
+			if d {
+				adopted = true
+				break
+			}
 		}
+	}
+	if adopted {
+		s.publish()
 	}
 }
 
 // pendingRows reports how many appended rows are still in pending
-// tails (not yet covered by the lazy indexes).
-func (s *Store) pendingRows() int {
-	n := 0
-	for i := range s.shards {
-		n += s.shards[i].tail()
-	}
-	return n
-}
-
-// ensureCounts builds the per-day count index over the sealed rows of
-// every shard. Pending tails enter via sealShard deltas, so the index
-// is built from scratch at most once per store lifetime (the rebuilds
-// counter tracks this).
-func (s *Store) ensureCounts() {
-	if s.counts != nil {
-		return
-	}
-	s.rebuilds++
-	c := &countsIndex{day: make([][2][NumVectors]int32, WindowDays)}
-	for si := range s.shards {
-		sh := &s.shards[si]
-		for i := 0; i < sh.sealed; i++ {
-			countDelta(c, sh.key[i], sh.start[i], 1)
-		}
-	}
-	s.counts = c
-}
-
-// ensureTargets builds the by-target index of (shard, row) handles over
-// the sealed rows of every shard; pending tails enter via sealShard
-// deltas. The handles stay valid for the life of the store.
-func (s *Store) ensureTargets() {
-	if s.targets != nil {
-		return
-	}
-	s.rebuilds++
-	m := make(map[netx.Addr][]rowRef, s.length/2+1)
-	for si := range s.shards {
-		sh := &s.shards[si]
-		for i := 0; i < sh.sealed; i++ {
-			m[sh.target[i]] = append(m[sh.target[i]], rowRef{int32(si), int32(i)})
-		}
-	}
-	s.targets = m
-}
+// tails (not yet covered by the incrementally maintained indexes).
+func (s *Store) pendingRows() int { return s.view().pendingRows() }
 
 // Events returns a fresh copy of all events sorted by (Start, Target).
 // The returned slice is the caller's to mutate, but the events' Ports
-// slices still alias store-owned arena memory.
+// slices still alias store-owned arena memory. Like every read path it
+// runs against the published view and is safe under concurrent ingest.
 //
 // Deprecated: Events materializes a full copy of the store on every
 // call; use Query with Iter, Count or Fold instead, which push filters
 // down to shard and index pruning. Retained for persistence round-trip
 // tests and external callers not yet migrated.
 func (s *Store) Events() []Event {
-	s.ensureSealed()
-	flat := make([]Event, 0, s.length)
-	for i := range s.shards {
-		sh := &s.shards[i]
-		for k := 0; k < sh.rows(); k++ {
-			var e Event
-			sh.view(sh.ordRow(k), &e)
-			flat = append(flat, e)
-		}
+	v := s.view()
+	flat := make([]Event, 0, v.length)
+	for e := range v.iterAll {
+		flat = append(flat, *e)
 	}
 	return flat
 }
 
 // Len returns the number of events.
-func (s *Store) Len() int { return s.length }
+func (s *Store) Len() int { return s.view().length }
 
 // ByTarget groups event indices (positions in the slice the deprecated
 // Events method returns) by target address.
@@ -307,17 +667,13 @@ func (s *Store) ByTarget() map[netx.Addr][]int {
 	return out
 }
 
-// UniqueTargets returns the number of distinct target addresses. It
-// reuses the by-target index when that index covers every row, but does
-// not force it: counting needs only the target column, not per-event
-// handle slices.
+// UniqueTargets returns the number of distinct target addresses,
+// counted from the published view's target columns.
 func (s *Store) UniqueTargets() int {
-	if s.targets != nil && s.pendingRows() == 0 {
-		return len(s.targets)
-	}
-	seen := make(map[netx.Addr]struct{}, s.length/2+1)
-	for si := range s.shards {
-		for _, t := range s.shards[si].target {
+	v := s.view()
+	seen := make(map[netx.Addr]struct{}, v.length/2+1)
+	for _, sh := range v.shards {
+		for _, t := range sh.target {
 			seen[t] = struct{}{}
 		}
 	}
@@ -326,9 +682,10 @@ func (s *Store) UniqueTargets() int {
 
 // UniqueBlocks returns distinct /24s, /16s given the mask length.
 func (s *Store) UniqueBlocks(maskBits int) int {
-	seen := make(map[netx.Addr]struct{}, s.length)
-	for si := range s.shards {
-		for _, t := range s.shards[si].target {
+	v := s.view()
+	seen := make(map[netx.Addr]struct{}, v.length)
+	for _, sh := range v.shards {
+		for _, t := range sh.target {
 			seen[t.Mask(maskBits)] = struct{}{}
 		}
 	}
@@ -387,7 +744,9 @@ func ReadCSV(r io.Reader) (*Store, error) {
 	if len(head) != len(csvHeader) || head[0] != "source" {
 		return nil, fmt.Errorf("attack: unexpected CSV header %v", head)
 	}
-	s := &Store{}
+	// Accumulate and build with one AddBatch: a decode is private until
+	// it returns, so per-record view publication would be pure overhead.
+	var events []Event
 	for line := 2; ; line++ {
 		rec, err := cr.Read()
 		if err == io.EOF {
@@ -448,9 +807,9 @@ func ReadCSV(r io.Reader) (*Store, error) {
 				}
 			}
 		}
-		s.Add(e)
+		events = append(events, e)
 	}
-	return s, nil
+	return NewStore(events), nil
 }
 
 // --- binary persistence (DOSEVT01, record-oriented) -------------------
@@ -474,17 +833,20 @@ const maxBinPorts = 255
 // column-oriented layout a reader can also mmap and serve without
 // decoding.
 func (s *Store) WriteBinary(w io.Writer) error {
+	// One view snapshot covers both the header count and the record
+	// loop, so a concurrent writer cannot desynchronize the stream.
+	v := s.view()
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(binMagic); err != nil {
 		return err
 	}
 	var scratch [8]byte
-	binary.LittleEndian.PutUint64(scratch[:], uint64(s.length))
+	binary.LittleEndian.PutUint64(scratch[:], uint64(v.length))
 	if _, err := bw.Write(scratch[:]); err != nil {
 		return err
 	}
 	var werr error
-	for e := range s.Query().Iter() {
+	for e := range v.iterAll {
 		nPorts := len(e.Ports)
 		if nPorts > maxBinPorts {
 			nPorts = maxBinPorts
@@ -532,7 +894,7 @@ func ReadBinary(r io.Reader) (*Store, error) {
 	if n > maxEvents {
 		return nil, fmt.Errorf("attack: implausible event count %d", n)
 	}
-	s := &Store{}
+	events := make([]Event, 0, int(min(n, 1<<20)))
 	var portBuf [2 * maxBinPorts]byte // record port count is one byte
 	for i := uint64(0); i < n; i++ {
 		var rec [56]byte
@@ -568,7 +930,7 @@ func ReadBinary(r io.Reader) (*Store, error) {
 				e.Ports[j] = binary.LittleEndian.Uint16(pb[2*j:])
 			}
 		}
-		s.Add(e)
+		events = append(events, e)
 	}
-	return s, nil
+	return NewStore(events), nil
 }

@@ -188,7 +188,10 @@ func scaledInt(full, scale float64, min int) int {
 func eventsFromPlan(cfg Config, planned []PlannedAttack) (tel, hp *attack.Store) {
 	telCfg := telescope.DefaultConfig(cfg.Darknet)
 	hpCfg := amppot.DefaultConfig()
-	tel, hp = &attack.Store{}, &attack.Store{}
+	// Accumulate per-sensor batches and build each store with one
+	// AddBatch: per-event Add now publishes a fresh store view every
+	// call, which is pure overhead while the stores are still private.
+	var telEvs, hpEvs []attack.Event
 	for i := range planned {
 		pa := &planned[i]
 		if pa.Dataset == attack.SourceTelescope {
@@ -199,7 +202,7 @@ func eventsFromPlan(cfg Config, planned []PlannedAttack) (tel, hp *attack.Store)
 			if !telCfg.Accept(packets, pa.Duration, pa.Intensity) {
 				continue
 			}
-			tel.Add(attack.Event{
+			telEvs = append(telEvs, attack.Event{
 				Source: attack.SourceTelescope, Vector: pa.Vector,
 				Target: pa.Target, Start: pa.Start, End: pa.End(),
 				Packets: packets, Bytes: packets * 60,
@@ -221,14 +224,14 @@ func eventsFromPlan(cfg Config, planned []PlannedAttack) (tel, hp *attack.Store)
 		if dur < 1 {
 			dur = 1
 		}
-		hp.Add(attack.Event{
+		hpEvs = append(hpEvs, attack.Event{
 			Source: attack.SourceHoneypot, Vector: pa.Vector,
 			Target: pa.Target, Start: pa.Start, End: pa.Start + dur,
 			Packets: requests, Bytes: requests * 40,
 			AvgRPS: float64(requests) / float64(dur),
 		})
 	}
-	return tel, hp
+	return attack.NewStore(telEvs), attack.NewStore(hpEvs)
 }
 
 // computeExposures aggregates attacks per Web-hosting IP and expands them

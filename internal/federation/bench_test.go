@@ -18,7 +18,7 @@ func benchSite(b *testing.B, n int) (*RemoteStore, *attack.Store) {
 		b.Fatal(err)
 	}
 	b.Cleanup(func() { l.Close() })
-	go NewServer(st, nil).Serve(l)
+	go NewServer(st).Serve(l)
 	r := Dial(l.Addr().String())
 	b.Cleanup(func() { r.Close() })
 	return r, st

@@ -31,7 +31,7 @@ func ExampleRemoteStore() {
 		panic(err)
 	}
 	defer l.Close()
-	go federation.NewServer(siteStore, nil).Serve(l)
+	go federation.NewServer(siteStore).Serve(l)
 
 	remote := federation.Dial(l.Addr().String())
 	defer remote.Close()

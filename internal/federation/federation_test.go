@@ -8,6 +8,7 @@ import (
 	"net"
 	"reflect"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -46,15 +47,15 @@ func randomEvents(rng *rand.Rand, n int) []attack.Event {
 }
 
 // startSite serves st on a loopback listener and returns a client for
-// it. mu may be nil for stores with no concurrent writer.
-func startSite(t *testing.T, st *attack.Store, mu sync.Locker, opts ...Option) *RemoteStore {
+// it. The store needs no lock, even when a writer is still appending.
+func startSite(t *testing.T, st *attack.Store, opts ...Option) *RemoteStore {
 	t.Helper()
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { l.Close() })
-	go NewServer(st, mu).Serve(l)
+	go NewServer(st).Serve(l)
 	r := Dial(l.Addr().String(), opts...)
 	t.Cleanup(func() { r.Close() })
 	return r
@@ -112,7 +113,6 @@ func TestFederatedEquivalence(t *testing.T) {
 
 	// Site B: a live store mid-ingest — AddBatch most of it, then
 	// trickle the rest through Add so shards keep unsealed tails.
-	var mu sync.Mutex
 	siteB := &attack.Store{}
 	siteB.AddBatch(events[1600:2900])
 	for _, e := range events[2900:] {
@@ -120,8 +120,8 @@ func TestFederatedEquivalence(t *testing.T) {
 	}
 	localB := attack.NewStore(events[1600:])
 
-	ra := startSite(t, siteA, nil)
-	rb := startSite(t, siteB, &mu)
+	ra := startSite(t, siteA)
+	rb := startSite(t, siteB)
 
 	for name, plan := range fedPlans() {
 		t.Run(name, func(t *testing.T) {
@@ -194,7 +194,7 @@ func TestFederatedMixedBackends(t *testing.T) {
 	events := randomEvents(rng, 1200)
 	combined := attack.NewStore(events)
 	local := attack.NewStore(events[:700])
-	remote := startSite(t, attack.NewStore(events[700:]), nil)
+	remote := startSite(t, attack.NewStore(events[700:]))
 
 	fed := attack.QueryBackends(local, remote).Source(attack.SourceHoneypot)
 	n, err := fed.Count()
@@ -220,7 +220,7 @@ func TestFederatedMixedBackends(t *testing.T) {
 func TestCountingWireBytesOIndex(t *testing.T) {
 	countingBytes := func(n int) (recv uint64) {
 		rng := rand.New(rand.NewSource(47))
-		r := startSite(t, attack.NewStore(randomEvents(rng, n)), nil)
+		r := startSite(t, attack.NewStore(randomEvents(rng, n)))
 		fed := attack.QueryBackends(r)
 		if _, err := fed.Count(); err != nil {
 			t.Fatal(err)
@@ -247,7 +247,7 @@ func TestCountingWireBytesOIndex(t *testing.T) {
 
 	segmentBytes := func(n int) (recv uint64) {
 		rng := rand.New(rand.NewSource(47))
-		r := startSite(t, attack.NewStore(randomEvents(rng, n)), nil)
+		r := startSite(t, attack.NewStore(randomEvents(rng, n)))
 		st, closer, err := r.PlanStore(attack.PlanAll())
 		if err != nil {
 			t.Fatal(err)
@@ -265,18 +265,16 @@ func TestCountingWireBytesOIndex(t *testing.T) {
 }
 
 // TestLiveSiteSeesIngest: a served store keeps answering as the writer
-// appends under the shared lock, and remote counts track the ingest.
+// appends — no shared lock anywhere — and remote counts track the
+// ingest batch by batch.
 func TestLiveSiteSeesIngest(t *testing.T) {
-	var mu sync.Mutex
 	st := &attack.Store{}
-	r := startSite(t, st, &mu)
+	r := startSite(t, st)
 	rng := rand.New(rand.NewSource(53))
 	events := randomEvents(rng, 300)
 
 	for round := 0; round < 3; round++ {
-		mu.Lock()
 		st.AddBatch(events[100*round : 100*(round+1)])
-		mu.Unlock()
 		n, err := attack.QueryBackends(r).Count()
 		if err != nil {
 			t.Fatal(err)
@@ -287,10 +285,11 @@ func TestLiveSiteSeesIngest(t *testing.T) {
 	}
 }
 
-// TestConcurrentClients: handlers run one per connection, and the
-// server's internal lock must serialize them — counting queries build
-// lazy indexes, so unserialized concurrent reads would race (run under
-// -race in CI).
+// TestConcurrentClients: handlers run one per connection and execute
+// concurrently with no serialization at all — counting queries are
+// lock-free reads against the store's published view, and the
+// once-per-view lazy index build is shared between racing readers (run
+// under -race in CI).
 func TestConcurrentClients(t *testing.T) {
 	rng := rand.New(rand.NewSource(71))
 	st := attack.NewStore(randomEvents(rng, 2000))
@@ -300,7 +299,7 @@ func TestConcurrentClients(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer l.Close()
-	go NewServer(attack.NewStore(randomEvents(rand.New(rand.NewSource(71)), 2000)), nil).Serve(l)
+	go NewServer(attack.NewStore(randomEvents(rand.New(rand.NewSource(71)), 2000))).Serve(l)
 
 	var wg sync.WaitGroup
 	errs := make([]error, 8)
@@ -442,7 +441,7 @@ func TestServerRejectsCorruptRequests(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer l.Close()
-	go NewServer(st, nil).Serve(l)
+	go NewServer(st).Serve(l)
 
 	send := func(raw []byte) (byte, []byte, error) {
 		conn, err := net.Dial("tcp", l.Addr().String())
@@ -494,7 +493,7 @@ func TestRetryAfterPeerClose(t *testing.T) {
 	st := attack.NewStore(randomEvents(rand.New(rand.NewSource(61)), 50))
 	var mu sync.Mutex
 	drops := 1
-	srv := NewServer(st, nil)
+	srv := NewServer(st)
 	addr := rawSite(t, func(c net.Conn) {
 		mu.Lock()
 		drop := drops > 0
@@ -548,7 +547,7 @@ func TestUnixSocketSite(t *testing.T) {
 		t.Skipf("unix sockets unavailable: %v", err)
 	}
 	defer l.Close()
-	go NewServer(st, nil).Serve(l)
+	go NewServer(st).Serve(l)
 	r := Dial(sock)
 	defer r.Close()
 	n, err := r.PlanCount(attack.PlanAll())
@@ -557,5 +556,152 @@ func TestUnixSocketSite(t *testing.T) {
 	}
 	if n != st.Len() {
 		t.Fatalf("Count over unix socket = %d, want %d", n, st.Len())
+	}
+}
+
+// TestRemoteCountsUnderLiveIngest is the federated leg of the
+// writer-vs-readers stress test: a writer AddBatches into a served
+// store while concurrent RemoteStore clients count it over the wire.
+// Batches publish atomically, so every remote count must be a
+// whole-batch prefix, per-client monotonic, and per-vector results must
+// match the from-scratch oracle of their prefix. Run under -race this
+// also proves the server handlers need no lock over the store.
+func TestRemoteCountsUnderLiveIngest(t *testing.T) {
+	const (
+		batches   = 16
+		batchSize = 50
+		clients   = 4
+	)
+	rng := rand.New(rand.NewSource(73))
+	events := randomEvents(rng, batches*batchSize)
+
+	kByCount := make(map[int]int, batches+1)
+	vecByK := make([][attack.NumVectors]int, batches+1)
+	for k := 0; k <= batches; k++ {
+		fresh := attack.NewStore(events[:k*batchSize])
+		kByCount[fresh.Len()] = k
+		vecByK[k] = fresh.Query().CountByVector()
+	}
+
+	st := &attack.Store{}
+	r := startSite(t, st)
+	_ = r // each client goroutine dials its own connection below
+
+	var writerDone atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for k := 0; k < batches; k++ {
+			st.AddBatch(events[k*batchSize : (k+1)*batchSize])
+		}
+		writerDone.Store(true)
+	}()
+
+	addr := r.Addr()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl := Dial(addr)
+			defer cl.Close()
+			lastK := 0
+			for done := false; !done; {
+				done = writerDone.Load()
+				n, err := cl.PlanCount(attack.PlanAll())
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				k, ok := kByCount[n]
+				if !ok {
+					t.Errorf("client %d: remote Count %d is not a whole-batch prefix", c, n)
+					return
+				}
+				if k < lastK {
+					t.Errorf("client %d: remote Count went back in time (prefix %d after %d)", c, k, lastK)
+					return
+				}
+				lastK = k
+				vec, err := cl.PlanCountByVector(attack.PlanAll())
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				total := 0
+				for _, v := range vec {
+					total += v
+				}
+				vk, ok := kByCount[total]
+				if !ok || vk < lastK {
+					t.Errorf("client %d: remote CountByVector total %d invalid at prefix %d", c, total, lastK)
+					return
+				}
+				lastK = vk
+				if vec != vecByK[vk] {
+					t.Errorf("client %d: remote CountByVector diverged from prefix %d oracle", c, vk)
+					return
+				}
+			}
+			if lastK != batches {
+				t.Errorf("client %d finished at prefix %d, want %d", c, lastK, batches)
+			}
+		}(c)
+	}
+	wg.Wait()
+}
+
+// TestServerShutdown covers the cmd/amppot shutdown ordering: after the
+// listener closes, Shutdown must unblock a handler parked mid-request
+// (by closing its connection), wait for in-flight handlers to return,
+// and leave nothing serving — so a final capture flush/write can never
+// be observed by a remote fetch.
+func TestServerShutdown(t *testing.T) {
+	st := attack.NewStore(randomEvents(rand.New(rand.NewSource(79)), 200))
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(st)
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(l) }()
+
+	// A healthy round trip first, keeping its connection open.
+	r := Dial(l.Addr().String())
+	defer r.Close()
+	if n, err := r.PlanCount(attack.PlanAll()); err != nil || n != st.Len() {
+		t.Fatalf("pre-shutdown count: n=%d err=%v", n, err)
+	}
+
+	// Park a second connection mid-frame: the handler blocks reading the
+	// rest of the request and only Shutdown's conn close can free it.
+	stuck, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stuck.Close()
+	if _, err := stuck.Write([]byte("DFED")); err != nil { // header fragment
+		t.Fatal(err)
+	}
+	// Let the server accept and park the handler before shutting down.
+	time.Sleep(50 * time.Millisecond)
+
+	l.Close()
+	if err := <-serveDone; err != nil {
+		t.Fatalf("Serve returned %v after listener close", err)
+	}
+	done := make(chan struct{})
+	go func() { srv.Shutdown(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Shutdown hung on a handler parked mid-frame")
+	}
+
+	// Nothing serves anymore: a fresh client cannot reach the store.
+	dead := Dial(l.Addr().String(), WithAttempts(1), WithBackoff(time.Millisecond))
+	defer dead.Close()
+	if _, err := dead.PlanCount(attack.PlanAll()); err == nil {
+		t.Fatal("count succeeded after Shutdown")
 	}
 }

@@ -21,31 +21,35 @@ import (
 // the store and replies with either an index partial (counting
 // terminals) or a DOSEVT02 segment of the matching events (fetch).
 //
-// A server can front a live store — one still absorbing ingest, e.g. the
-// cmd/amppot flush pipeline — by sharing the writer's lock: every plan
-// executes under mu, and counting plans answer from the store's
-// delta-maintained indexes plus pending-tail scans without forcing a
-// seal, so serving never re-sorts a capture mid-ingest.
+// A server fronts a live store — one still absorbing ingest, e.g. the
+// cmd/amppot flush pipeline — with no locking at all: attack.Store
+// reads are lock-free against the store's published view, so every
+// handler sees a consistent whole-mutation prefix of the capture,
+// concurrent handlers never serialize against each other, and serving
+// never blocks (or is blocked by) the writer. Counting plans answer
+// from the incrementally maintained indexes plus pending-tail scans
+// without forcing a seal, so serving never re-sorts a capture
+// mid-ingest.
 type Server struct {
 	store *attack.Store
-	mu    sync.Locker
+
+	mu     sync.Mutex // guards conns/closed, NOT the store
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
 }
 
-// NewServer wraps a store for serving. Every plan executes under mu:
-// pass the lock that guards the store's writer when the store is still
-// ingesting, or nil for a read-only store — the server then supplies
-// its own lock, which still serializes concurrent client handlers
-// against each other (attack.Store is not safe for concurrent use even
-// read-side: queries may build lazy indexes or seal pending tails).
-func NewServer(st *attack.Store, mu sync.Locker) *Server {
-	if mu == nil {
-		mu = &sync.Mutex{}
-	}
-	return &Server{store: st, mu: mu}
+// NewServer wraps a store for serving. The store needs no external
+// synchronization — its query paths are safe against a concurrent
+// writer — so a server can front the same live store the ingest
+// pipeline is appending to.
+func NewServer(st *attack.Store) *Server {
+	return &Server{store: st, conns: make(map[net.Conn]struct{})}
 }
 
 // Serve accepts connections until the listener closes, handling each on
-// its own goroutine. It returns nil when the listener is closed.
+// its own goroutine; handlers run concurrently. It returns nil when the
+// listener is closed.
 func (s *Server) Serve(l net.Listener) error {
 	for {
 		conn, err := l.Accept()
@@ -55,8 +59,39 @@ func (s *Server) Serve(l net.Listener) error {
 			}
 			return err
 		}
-		go s.handle(conn)
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
 	}
+}
+
+// Shutdown stops serving: it closes every active connection (unblocking
+// handlers parked in a read) and waits for all in-flight handlers to
+// return. Close the listener first so no new connections arrive, then
+// call Shutdown before any final mutation or capture write whose
+// output must not be observable mid-flight — the cmd/amppot shutdown
+// sequence.
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
 }
 
 // handle serves one connection's request frames until the peer closes
@@ -85,15 +120,13 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
-// execute runs one decoded request against the store under the writer
-// lock and returns the response frame.
+// execute runs one decoded request against the store — a lock-free
+// read against its published view — and returns the response frame.
 func (s *Server) execute(typ byte, payload []byte) (respType byte, resp []byte, err error) {
 	p, err := attack.DecodePlan(payload)
 	if err != nil {
 		return 0, nil, err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	switch typ {
 	case typeReqCount:
 		n := p.Query(s.store).Count()
