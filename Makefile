@@ -8,9 +8,9 @@ GO        ?= go
 # recording BENCH_<n>.json numbers meant for comparison.
 BENCHTIME ?= 1x
 # The benchmark families whose ns/op the perf-trajectory record tracks.
-BENCH_RECORD ?= BenchmarkAgg|BenchmarkColumnarScan|BenchmarkSegmentOpen|BenchmarkLiveIngest|BenchmarkFederated|BenchmarkConcurrentQuery
+BENCH_RECORD ?= BenchmarkAgg|BenchmarkColumnarScan|BenchmarkSegmentOpen|BenchmarkLiveIngest|BenchmarkFederated|BenchmarkConcurrentQuery|BenchmarkHTTP
 
-.PHONY: build vet test race bench docs clean
+.PHONY: build vet test race bench docs serve-smoke clean
 
 build:
 	$(GO) build ./...
@@ -30,11 +30,19 @@ race:
 
 # bench runs every benchmark in the module once as a smoke check and
 # records the query/columnar/segment/live-ingest/federation/concurrency
-# suites' ns/op into BENCH_5.json.
+# /http-serving suites' ns/op into BENCH_6.json.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) ./... | tee bench.out
-	$(GO) run ./cmd/benchjson -match '$(BENCH_RECORD)' < bench.out > BENCH_5.json
+	$(GO) run ./cmd/benchjson -match '$(BENCH_RECORD)' < bench.out > BENCH_6.json
 	rm -f bench.out
+
+# serve-smoke boots dosqueryd over a deterministic generated capture,
+# curls the endpoint matrix (counting, cursor pagination, figures,
+# failure-mode statuses), and diffs the responses against the golden
+# transcript in cmd/dosqueryd/testdata/. UPDATE=1 regenerates the
+# golden after an intentional API change.
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 # docs keeps the documentation honest: the examples must build, the
 # godoc Example* snippets must run, neither README nor docs/ may

@@ -7,7 +7,7 @@
 //
 //	amppot [-listen 127.0.0.1] [-protocols NTP,DNS,CharGen] [-base-port 0]
 //	       [-duration 0] [-min-requests 100] [-gap 1h] [-flush 30s]
-//	       [-serve addr] [-out file]
+//	       [-serve addr] [-serve-http addr] [-out file]
 //
 // Extraction is live: every -flush interval the fleet drains completed
 // attack events into the capture store and a status line with
@@ -29,6 +29,13 @@
 // final flush and the -out write, so no remote fetch can observe the
 // capture mid-finalization. See docs/FORMATS.md for the wire format.
 //
+// -serve-http exposes the same live store over the HTTP/JSON query API
+// (internal/httpapi, the dosqueryd endpoints): curl or a dashboard can
+// count, filter, and stream the capture while the honeypots ingest,
+// with counting responses cached between flushes (the store's version
+// counter invalidates on every drain). Both servers can run at once —
+// they read the same lock-free published views. See docs/API.md.
+//
 // -out selects the capture sink by extension: .seg writes the mmap-able
 // DOSEVT02 segment format, .bin the DOSEVT01 record stream, anything
 // else CSV. Without -out, CSV goes to stdout.
@@ -38,6 +45,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
@@ -52,6 +60,7 @@ import (
 	"doscope/internal/amppot"
 	"doscope/internal/attack"
 	"doscope/internal/federation"
+	"doscope/internal/httpapi"
 )
 
 func main() {
@@ -64,6 +73,7 @@ func main() {
 		gap        = flag.Duration("gap", time.Hour, "idle gap splitting request streams into separate events")
 		flushEvery = flag.Duration("flush", 30*time.Second, "drain completed events into the live store this often (0 = only at shutdown)")
 		serveAddr  = flag.String("serve", "", "expose the live store to federation clients on this address (host:port or unix socket path)")
+		serveHTTP  = flag.String("serve-http", "", "expose the live store over the HTTP/JSON query API on this address (host:port)")
 		out        = flag.String("out", "", "write events to this file instead of stdout CSV (.seg = DOSEVT02 segment, .bin = DOSEVT01, otherwise CSV)")
 	)
 	flag.Parse()
@@ -134,6 +144,23 @@ func main() {
 			}
 		}()
 	}
+	// -serve-http fronts the same store with the HTTP/JSON query API;
+	// its responses cache between flushes because every drain bumps the
+	// store's version counter.
+	var httpSrv *httpapi.Server
+	if *serveHTTP != "" {
+		l, err := net.Listen("tcp", *serveHTTP)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "amppot: http query api on http://%s/v1/\n", l.Addr())
+		httpSrv = httpapi.NewServer([]attack.Queryable{store})
+		go func() {
+			if err := httpSrv.Serve(l); err != nil {
+				fmt.Fprintln(os.Stderr, "amppot: http:", err)
+			}
+		}()
+	}
 
 	done := make(chan struct{})
 	var flushWG sync.WaitGroup
@@ -172,14 +199,21 @@ func main() {
 	for _, c := range conns {
 		c.Close()
 	}
-	// Shutdown order matters: stop accepting federation connections and
-	// wait for every in-flight handler BEFORE the final drain and the
-	// -out write, so a remote fetch can never observe (or race) the
-	// capture mid-final-flush, and the written file is the same capture
-	// the last remote query saw.
+	// Shutdown order matters: stop accepting federation and HTTP
+	// connections and wait for every in-flight handler BEFORE the final
+	// drain and the -out write, so a remote fetch can never observe (or
+	// race) the capture mid-final-flush, and the written file is the
+	// same capture the last remote query saw.
 	if fedListener != nil {
 		fedListener.Close()
 		fedSrv.Shutdown()
+	}
+	if httpSrv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "amppot: http shutdown:", err)
+		}
+		cancel()
 	}
 	close(done)
 	flushWG.Wait()

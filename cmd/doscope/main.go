@@ -7,6 +7,7 @@
 //
 //	doscope [-scale 0.001] [-seed 42] [-packet-level] [-save-events dir]
 //	        [-load-events dir] [-federate host:port,...] [-section all]
+//	        [-plan] [-source s] [-vectors v,...] [-days lo..hi] [-target-prefix cidr]
 //
 // -scale 0.001 reproduces the paper at 1/1000 (≈21k attack events, 210k
 // Web sites) in a few seconds. -packet-level synthesizes raw backscatter
@@ -29,12 +30,20 @@
 // pass the same -scale and -seed as at save time: the Web model is still
 // generated from those flags, and mismatched values would join cached
 // events against a differently-sized site population.
+//
+// -plan compiles the query filter flags (-source, -vectors, -days,
+// -target-prefix — the same grammar the HTTP API's URL parameters use)
+// into a portable attack.Plan and prints its base64 form, then exits.
+// The printed string is what dosqueryd's plan= parameter and the
+// DOSFED01 wire accept, so a query can be built once here and replayed
+// against any serving surface.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"net/url"
 	"os"
 	"path/filepath"
 	"strings"
@@ -55,8 +64,23 @@ func main() {
 		loadEvents  = flag.String("load-events", "", "directory to serve the attack stores from (telescope/honeypot .seg mmap'd, .bin decoded); use the -scale/-seed the cache was saved with")
 		federate    = flag.String("federate", "", "comma-separated federation site addresses to aggregate instead of generating a scenario")
 		section     = flag.String("section", "all", "report section: all, tables, figures, joint, web")
+		printPlan   = flag.Bool("plan", false, "print the base64 plan compiled from the query filter flags, then exit")
+		source      = flag.String("source", "", "plan filter: sensor source (telescope or honeypot)")
+		vectors     = flag.String("vectors", "", "plan filter: comma-separated attack vectors")
+		days        = flag.String("days", "", "plan filter: day range lo..hi (or a single day), relative to the window start")
+		targetPfx   = flag.String("target-prefix", "", "plan filter: target CIDR prefix")
 	)
 	flag.Parse()
+
+	if *printPlan {
+		p, err := compilePlan(*source, *vectors, *days, *targetPfx)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doscope:", err)
+			os.Exit(1)
+		}
+		fmt.Println(p.EncodeString())
+		return
+	}
 
 	if *federate != "" {
 		if err := federated(os.Stdout, strings.Split(*federate, ",")); err != nil {
@@ -140,6 +164,25 @@ func main() {
 		fmt.Fprintf(os.Stderr, "doscope: unknown section %q\n", *section)
 		os.Exit(2)
 	}
+}
+
+// compilePlan maps the query filter flags onto the HTTP API's URL
+// parameter grammar and compiles them through the same
+// attack.PlanFromValues path, so the flags and the serving layer can
+// never drift apart.
+func compilePlan(source, vectors, days, prefix string) (attack.Plan, error) {
+	v := url.Values{}
+	for key, val := range map[string]string{
+		attack.ParamSource:  source,
+		attack.ParamVectors: vectors,
+		attack.ParamDays:    days,
+		attack.ParamPrefix:  prefix,
+	} {
+		if val != "" {
+			v.Set(key, val)
+		}
+	}
+	return attack.PlanFromValues(v)
 }
 
 // federated aggregates the listed sites' attack stores into one

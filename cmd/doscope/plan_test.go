@@ -1,0 +1,91 @@
+package main
+
+import (
+	"testing"
+
+	"doscope/internal/attack"
+	"doscope/internal/netx"
+)
+
+// TestCompilePlanRoundTrip pins the -plan contract: the flags compile
+// through the same grammar as the HTTP API's URL parameters, and the
+// printed base64 string decodes back to the identical plan — so a plan
+// built here is accepted verbatim by dosqueryd's plan= parameter and
+// the DOSFED01 wire.
+func TestCompilePlanRoundTrip(t *testing.T) {
+	prefix, err := netx.ParsePrefix("203.0.112.0/20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name                          string
+		source, vectors, days, target string
+		want                          attack.Plan
+	}{
+		{name: "all", want: attack.PlanAll()},
+		{name: "source", source: "honeypot", want: attack.Plan{Source: int8(attack.SourceHoneypot)}},
+		{
+			name: "vectors", vectors: "NTP,DNS",
+			want: attack.Plan{Source: -1, VecMask: 1<<attack.VectorNTP | 1<<attack.VectorDNS},
+		},
+		{
+			name: "days", days: "30..120",
+			want: attack.Plan{Source: -1, HasDays: true, DayLo: 30, DayHi: 120},
+		},
+		{
+			name: "single day", days: "45",
+			want: attack.Plan{Source: -1, HasDays: true, DayLo: 45, DayHi: 45},
+		},
+		{
+			name: "prefix", target: "203.0.112.0/20",
+			want: attack.Plan{Source: -1, HasPrefix: true, PrefixBits: 20, Prefix: prefix.Addr()},
+		},
+		{
+			name: "combined", source: "telescope", vectors: "TCP", days: "0..364", target: "203.0.112.0/20",
+			want: attack.Plan{
+				Source: int8(attack.SourceTelescope), VecMask: 1 << attack.VectorTCP,
+				HasDays: true, DayLo: 0, DayHi: 364,
+				HasPrefix: true, PrefixBits: 20, Prefix: prefix.Addr(),
+			},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p, err := compilePlan(c.source, c.vectors, c.days, c.target)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p != c.want {
+				t.Fatalf("compiled %+v, want %+v", p, c.want)
+			}
+			back, err := attack.DecodePlanString(p.EncodeString())
+			if err != nil {
+				t.Fatalf("decode printed plan: %v", err)
+			}
+			if back != p {
+				t.Fatalf("round trip %+v, want %+v", back, p)
+			}
+		})
+	}
+}
+
+// TestCompilePlanRejects keeps flag errors at compile time, not at the
+// serving side.
+func TestCompilePlanRejects(t *testing.T) {
+	cases := []struct {
+		name                          string
+		source, vectors, days, target string
+	}{
+		{name: "bad source", source: "satellite"},
+		{name: "bad vector", vectors: "NTP,WARP"},
+		{name: "bad days", days: "x..y"},
+		{name: "bad prefix", target: "203.0.112.0/33"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if p, err := compilePlan(c.source, c.vectors, c.days, c.target); err == nil {
+				t.Fatalf("compiled %+v, want error", p)
+			}
+		})
+	}
+}

@@ -1,0 +1,69 @@
+package federation
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"doscope/internal/attack"
+)
+
+// TestBackoffCappedAndJittered pins the retry-delay policy: the
+// doubling schedule must never exceed the cap (the unbounded
+// r.backoff<<(attempt-1) growth was a bug under large WithAttempts),
+// must never go negative (shift overflow), and must keep at least half
+// of the nominal delay so jitter cannot collapse the schedule into a
+// tight retry loop.
+func TestBackoffCappedAndJittered(t *testing.T) {
+	r := Dial("127.0.0.1:1",
+		WithBackoff(50*time.Millisecond),
+		WithMaxBackoff(2*time.Second))
+	for attempt := 1; attempt <= 200; attempt++ {
+		nominal := 50 * time.Millisecond << (attempt - 1)
+		if attempt-1 >= 62 || nominal <= 0 || nominal > 2*time.Second {
+			nominal = 2 * time.Second
+		}
+		for i := 0; i < 20; i++ {
+			d := r.backoffFor(attempt)
+			if d < nominal/2 || d > nominal {
+				t.Fatalf("backoffFor(%d) = %v, want in [%v, %v]", attempt, d, nominal/2, nominal)
+			}
+		}
+	}
+}
+
+// TestBackoffJitterSpreads asserts the delays are actually randomized:
+// identical clients must not retry on the same schedule.
+func TestBackoffJitterSpreads(t *testing.T) {
+	r := Dial("127.0.0.1:1", WithBackoff(time.Second), WithMaxBackoff(time.Second))
+	seen := make(map[time.Duration]bool)
+	for i := 0; i < 64; i++ {
+		seen[r.backoffFor(1)] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("64 jittered delays collapsed to %d distinct value(s)", len(seen))
+	}
+}
+
+// TestRemoteVersion exercises the DOSFED01 version request: it must
+// track the site store's mutation counter across ingest, the 8-byte
+// validation handle the HTTP response cache keys federated entries on.
+func TestRemoteVersion(t *testing.T) {
+	st := &attack.Store{}
+	r := startSite(t, st)
+	v0, err := r.Version()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v0 != st.Version() {
+		t.Fatalf("remote version %d, store version %d", v0, st.Version())
+	}
+	st.AddBatch(randomEvents(rand.New(rand.NewSource(11)), 100))
+	v1, err := r.Version()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 != st.Version() || v1 == v0 {
+		t.Fatalf("after ingest: remote version %d, store version %d (was %d)", v1, st.Version(), v0)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -40,6 +41,7 @@ type RemoteStore struct {
 
 	attempts    int
 	backoff     time.Duration
+	maxBackoff  time.Duration
 	dialTimeout time.Duration
 	reqTimeout  time.Duration
 
@@ -63,9 +65,22 @@ func WithAttempts(n int) Option {
 }
 
 // WithBackoff sets the initial retry backoff, doubled per attempt
-// (default 50ms).
+// (default 50ms). Each delay is capped by WithMaxBackoff and jittered
+// (see backoffFor).
 func WithBackoff(d time.Duration) Option {
 	return func(r *RemoteStore) { r.backoff = d }
+}
+
+// WithMaxBackoff caps the per-attempt retry delay (default 5s). Without
+// a cap the doubling schedule grows without bound under WithAttempts,
+// and with one, a client configured for many attempts settles into
+// steady capped-rate retries instead of sleeping for minutes.
+func WithMaxBackoff(d time.Duration) Option {
+	return func(r *RemoteStore) {
+		if d > 0 {
+			r.maxBackoff = d
+		}
+	}
 }
 
 // WithDialTimeout bounds each dial attempt (default 5s).
@@ -91,6 +106,7 @@ func Dial(addr string, opts ...Option) *RemoteStore {
 		network:     netKind(addr),
 		attempts:    3,
 		backoff:     50 * time.Millisecond,
+		maxBackoff:  5 * time.Second,
 		dialTimeout: 5 * time.Second,
 		reqTimeout:  60 * time.Second,
 	}
@@ -140,17 +156,37 @@ func (c countingConn) Write(b []byte) (int, error) {
 	return n, err
 }
 
+// backoffFor returns the delay before retry attempt n (n >= 1): the
+// doubling schedule backoff<<(n-1), capped at maxBackoff, with the top
+// half of the delay randomized ("equal jitter"). The cap bounds the
+// wait however many attempts are configured; the jitter decorrelates a
+// fleet of identical clients retrying a restarted aggregator, which
+// would otherwise thundering-herd on the same schedule.
+func (r *RemoteStore) backoffFor(attempt int) time.Duration {
+	d := r.maxBackoff
+	// The shift overflows past 62 doublings; any schedule that long is
+	// already capped.
+	if attempt-1 < 62 {
+		if b := r.backoff << (attempt - 1); b > 0 && b < d {
+			d = b
+		}
+	}
+	if d <= 1 {
+		return d
+	}
+	return d/2 + time.Duration(rand.Int64N(int64(d-d/2)+1))
+}
+
 // roundTrip sends one request frame and reads its response, retrying
 // transport failures per the policy above. It returns the response
 // payload after unwrapping error frames.
-func (r *RemoteStore) roundTrip(reqType byte, plan attack.Plan, wantResp byte) ([]byte, error) {
-	req := plan.AppendBinary(nil)
+func (r *RemoteStore) roundTrip(reqType byte, req []byte, wantResp byte) ([]byte, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	var lastErr error
 	for attempt := 0; attempt < r.attempts; attempt++ {
 		if attempt > 0 {
-			time.Sleep(r.backoff << (attempt - 1))
+			time.Sleep(r.backoffFor(attempt))
 		}
 		if r.conn == nil {
 			conn, err := net.DialTimeout(r.network, r.addr, r.dialTimeout)
@@ -226,7 +262,7 @@ var _ attack.Queryable = (*RemoteStore)(nil)
 // PlanCount executes the plan's Count terminal at the site. Only the
 // 20-byte plan and an 8-byte count cross the wire.
 func (r *RemoteStore) PlanCount(p attack.Plan) (int, error) {
-	payload, err := r.roundTrip(typeReqCount, p, typeRespCount)
+	payload, err := r.roundTrip(typeReqCount, p.AppendBinary(nil), typeRespCount)
 	if err != nil {
 		return 0, err
 	}
@@ -240,7 +276,7 @@ func (r *RemoteStore) PlanCount(p attack.Plan) (int, error) {
 // site; the response is one fixed-size row of index cells.
 func (r *RemoteStore) PlanCountByVector(p attack.Plan) ([attack.NumVectors]int, error) {
 	var out [attack.NumVectors]int
-	payload, err := r.roundTrip(typeReqCountByVector, p, typeRespCountByVector)
+	payload, err := r.roundTrip(typeReqCountByVector, p.AppendBinary(nil), typeRespCountByVector)
 	if err != nil {
 		return out, err
 	}
@@ -256,7 +292,7 @@ func (r *RemoteStore) PlanCountByVector(p attack.Plan) ([attack.NumVectors]int, 
 // PlanCountByDay executes the plan's CountByDay terminal at the site;
 // the response is the WindowDays-cell daily index row.
 func (r *RemoteStore) PlanCountByDay(p attack.Plan) ([]int, error) {
-	payload, err := r.roundTrip(typeReqCountByDay, p, typeRespCountByDay)
+	payload, err := r.roundTrip(typeReqCountByDay, p.AppendBinary(nil), typeRespCountByDay)
 	if err != nil {
 		return nil, err
 	}
@@ -270,12 +306,28 @@ func (r *RemoteStore) PlanCountByDay(p attack.Plan) ([]int, error) {
 	return out, nil
 }
 
+// Version fetches the site store's mutation counter. Two equal versions
+// bracket an ingest-free interval, so a consumer caching results
+// derived from the site (the HTTP front end's plan-keyed response
+// cache) can validate entries with an 8-byte exchange instead of
+// re-executing plans.
+func (r *RemoteStore) Version() (uint64, error) {
+	payload, err := r.roundTrip(typeReqVersion, nil, typeRespVersion)
+	if err != nil {
+		return 0, err
+	}
+	if len(payload) != 8 {
+		return 0, errFrame("version payload is %d bytes, want 8", len(payload))
+	}
+	return binary.LittleEndian.Uint64(payload), nil
+}
+
 // PlanStore fetches the plan's matching events from the site as a
 // DOSEVT02 segment and serves a Store zero-copy from the received
 // bytes. The returned closer is a no-op (the buffer is heap memory),
 // but callers should still close it per the Queryable contract.
 func (r *RemoteStore) PlanStore(p attack.Plan) (*attack.Store, io.Closer, error) {
-	payload, err := r.roundTrip(typeReqFetch, p, typeRespSegment)
+	payload, err := r.roundTrip(typeReqFetch, p.AppendBinary(nil), typeRespSegment)
 	if err != nil {
 		return nil, nil, err
 	}

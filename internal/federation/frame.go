@@ -40,11 +40,13 @@ const (
 	typeReqCountByVector = 0x02 // resp: typeRespCountByVector
 	typeReqCountByDay    = 0x03 // resp: typeRespCountByDay
 	typeReqFetch         = 0x04 // resp: typeRespSegment
+	typeReqVersion       = 0x05 // empty payload; resp: typeRespVersion
 
 	typeRespCount         = 0x81 // uint64 count
 	typeRespCountByVector = 0x82 // NumVectors uint64 counts
 	typeRespCountByDay    = 0x83 // WindowDays uint64 counts
 	typeRespSegment       = 0x84 // DOSEVT02 segment bytes
+	typeRespVersion       = 0x85 // uint64 store mutation counter
 	typeRespError         = 0xff // UTF-8 error message
 )
 

@@ -123,6 +123,16 @@ func (s *Server) handle(conn net.Conn) {
 // execute runs one decoded request against the store — a lock-free
 // read against its published view — and returns the response frame.
 func (s *Server) execute(typ byte, payload []byte) (respType byte, resp []byte, err error) {
+	if typ == typeReqVersion {
+		// Plan-less request: the store's mutation counter, which clients
+		// (e.g. the HTTP front end's response cache) compare across
+		// requests to detect ingest instead of re-executing plans.
+		if len(payload) != 0 {
+			return 0, nil, fmt.Errorf("federation: version request carries %d payload bytes, want 0", len(payload))
+		}
+		resp = binary.LittleEndian.AppendUint64(nil, s.store.Version())
+		return typeRespVersion, resp, nil
+	}
 	p, err := attack.DecodePlan(payload)
 	if err != nil {
 		return 0, nil, err

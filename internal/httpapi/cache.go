@@ -1,0 +1,100 @@
+package httpapi
+
+import (
+	"container/list"
+	"slices"
+	"sync"
+
+	"doscope/internal/attack"
+)
+
+// cacheKey identifies one cacheable response: the endpoint, the
+// compiled plan (comparable by value — the same 20 bytes DOSFED01
+// ships), and any endpoint-specific parameters in canonical form.
+type cacheKey struct {
+	endpoint string
+	plan     attack.Plan
+	extra    string
+}
+
+// cacheEntry is one cached response body together with the backend
+// version vector it was computed under. An entry is valid only while
+// every backend still reports the same version — any ingest anywhere
+// invalidates it, so the cache can never serve a count the stores have
+// moved past. (A write racing the execution can leave a body slightly
+// NEWER than its key claims; the next lookup under the new vector then
+// misses and recomputes. Staleness is the direction that cannot
+// happen.)
+type cacheEntry struct {
+	key      cacheKey
+	versions []uint64
+	body     []byte
+}
+
+// cache is a version-validated LRU over serialized responses. Counting
+// and figure endpoints answer repeat queries from here between ingest
+// batches — the regime where one store serves the same measurement view
+// to many consumers.
+type cache struct {
+	mu  sync.Mutex
+	max int
+	m   map[cacheKey]*list.Element
+	ll  *list.List // front = most recently used
+}
+
+func newCache(max int) *cache {
+	if max <= 0 {
+		return nil
+	}
+	return &cache{max: max, m: make(map[cacheKey]*list.Element), ll: list.New()}
+}
+
+// get returns the cached body for k if it was computed under exactly
+// the given backend version vector.
+func (c *cache) get(k cacheKey, versions []uint64) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[k]
+	if !ok {
+		return nil, false
+	}
+	e := el.Value.(*cacheEntry)
+	if !slices.Equal(e.versions, versions) {
+		// Superseded by ingest: drop it rather than letting dead
+		// entries crowd out live ones.
+		c.ll.Remove(el)
+		delete(c.m, k)
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return e.body, true
+}
+
+// put stores a computed body under its version vector, evicting the
+// least recently used entry past the size cap.
+func (c *cache) put(k cacheKey, versions []uint64, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[k]; ok {
+		e := el.Value.(*cacheEntry)
+		e.versions, e.body = versions, body
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[k] = c.ll.PushFront(&cacheEntry{key: k, versions: versions, body: body})
+	for c.ll.Len() > c.max {
+		el := c.ll.Back()
+		c.ll.Remove(el)
+		delete(c.m, el.Value.(*cacheEntry).key)
+	}
+}
+
+// len reports the live entry count (for /v1/stats).
+func (c *cache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

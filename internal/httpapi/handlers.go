@@ -1,0 +1,212 @@
+package httpapi
+
+import (
+	"cmp"
+	"fmt"
+	"net/http"
+	"net/url"
+	"slices"
+	"strconv"
+
+	"doscope/internal/attack"
+	"doscope/internal/netx"
+)
+
+// planFrom compiles the request's filter parameters (or plan=) into a
+// plan, reporting a 400 on any malformed or out-of-domain value.
+func planFrom(w http.ResponseWriter, r *http.Request) (attack.Plan, bool) {
+	p, err := attack.PlanFromValues(r.URL.Query())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return attack.Plan{}, false
+	}
+	return p, true
+}
+
+// intParam parses an optional integer parameter with bounds.
+func intParam(v url.Values, key string, def, min, max int) (int, error) {
+	s := v.Get(key)
+	if s == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < min || n > max {
+		return 0, fmt.Errorf("%s=%q: want an integer in [%d, %d]", key, s, min, max)
+	}
+	return n, nil
+}
+
+// handleHealthz answers liveness probes. It touches no backend and
+// bypasses every gate, so it keeps answering while the server sheds
+// load.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, []byte(fmt.Sprintf("{\"ok\":true,\"backends\":%d}\n", len(s.backends))))
+}
+
+// handleStats serves the counter snapshot plus per-backend state.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	snap := s.metrics.snapshot()
+	snap.CacheEntries = s.cache.len()
+	snap.Backends = s.backendsInfo()
+	body, err := marshalBody(snap)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, body)
+}
+
+// countResponse is the /v1/count body.
+type countResponse struct {
+	Plan  string `json:"plan"`
+	Count int    `json:"count"`
+}
+
+func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
+	p, ok := planFrom(w, r)
+	if !ok {
+		return
+	}
+	s.cached(w, "count", "", p, func() (any, error) {
+		n, err := attack.QueryPlan(p, s.backends...).Count()
+		if err != nil {
+			return nil, err
+		}
+		return countResponse{Plan: p.EncodeString(), Count: n}, nil
+	})
+}
+
+// vectorCount is one row of the /v1/count/vector body; rows cover
+// every vector, in vector order, so clients need no name lookup to
+// align series.
+type vectorCount struct {
+	Vector string `json:"vector"`
+	Count  int    `json:"count"`
+}
+
+type countByVectorResponse struct {
+	Plan   string        `json:"plan"`
+	Counts []vectorCount `json:"counts"`
+}
+
+func (s *Server) handleCountByVector(w http.ResponseWriter, r *http.Request) {
+	p, ok := planFrom(w, r)
+	if !ok {
+		return
+	}
+	s.cached(w, "count/vector", "", p, func() (any, error) {
+		counts, err := attack.QueryPlan(p, s.backends...).CountByVector()
+		if err != nil {
+			return nil, err
+		}
+		rows := make([]vectorCount, attack.NumVectors)
+		for v := range counts {
+			rows[v] = vectorCount{Vector: attack.Vector(v).String(), Count: counts[v]}
+		}
+		return countByVectorResponse{Plan: p.EncodeString(), Counts: rows}, nil
+	})
+}
+
+// countByDayResponse is the /v1/count/day body: one cell per day of
+// the measurement window, index = day offset from the window start.
+type countByDayResponse struct {
+	Plan string `json:"plan"`
+	Days []int  `json:"days"`
+}
+
+func (s *Server) handleCountByDay(w http.ResponseWriter, r *http.Request) {
+	p, ok := planFrom(w, r)
+	if !ok {
+		return
+	}
+	s.cached(w, "count/day", "", p, func() (any, error) {
+		days, err := attack.QueryPlan(p, s.backends...).CountByDay()
+		if err != nil {
+			return nil, err
+		}
+		return countByDayResponse{Plan: p.EncodeString(), Days: days}, nil
+	})
+}
+
+// prefixGroup is one row of /v1/count/target-prefix: a target block,
+// its matching event count, and how many distinct targets it holds.
+type prefixGroup struct {
+	Prefix  string `json:"prefix"`
+	Events  int    `json:"events"`
+	Targets int    `json:"targets"`
+}
+
+type targetPrefixResponse struct {
+	Plan      string        `json:"plan"`
+	GroupBits int           `json:"group_bits"`
+	Total     int           `json:"total_groups"`
+	Groups    []prefixGroup `json:"groups"`
+}
+
+// handleCountTargetPrefix groups matching events by target block — the
+// HTTP face of Query.GroupByTarget, generalized to any block size.
+// group= sets the grouping prefix length (default 32, exact targets);
+// top= caps the rows returned, ordered by event count. Unlike the pure
+// counting endpoints this iterates events (remote backends ship their
+// matching subset once as a segment), so responses lean on the
+// version-keyed cache.
+func (s *Server) handleCountTargetPrefix(w http.ResponseWriter, r *http.Request) {
+	p, ok := planFrom(w, r)
+	if !ok {
+		return
+	}
+	group, err := intParam(r.URL.Query(), "group", 32, 0, 32)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	top, err := intParam(r.URL.Query(), "top", 100, 1, 100000)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	extra := fmt.Sprintf("group=%d&top=%d", group, top)
+	s.cached(w, "count/target-prefix", extra, p, func() (any, error) {
+		type tally struct {
+			events  int
+			targets map[netx.Addr]struct{}
+		}
+		it, closer, err := attack.QueryPlan(p, s.backends...).Iter()
+		if err != nil {
+			return nil, err
+		}
+		defer closer.Close()
+		groups := make(map[netx.Addr]*tally)
+		for e := range it {
+			key := e.Target.Mask(group)
+			t := groups[key]
+			if t == nil {
+				t = &tally{targets: make(map[netx.Addr]struct{})}
+				groups[key] = t
+			}
+			t.events++
+			t.targets[e.Target] = struct{}{}
+		}
+		rows := make([]prefixGroup, 0, len(groups))
+		for addr, t := range groups {
+			rows = append(rows, prefixGroup{
+				Prefix:  fmt.Sprintf("%s/%d", addr, group),
+				Events:  t.events,
+				Targets: len(t.targets),
+			})
+		}
+		slices.SortFunc(rows, func(a, b prefixGroup) int {
+			if c := cmp.Compare(b.Events, a.Events); c != 0 {
+				return c
+			}
+			return cmp.Compare(a.Prefix, b.Prefix)
+		})
+		total := len(rows)
+		if len(rows) > top {
+			rows = rows[:top]
+		}
+		return targetPrefixResponse{
+			Plan: p.EncodeString(), GroupBits: group, Total: total, Groups: rows,
+		}, nil
+	})
+}

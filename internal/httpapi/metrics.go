@@ -1,0 +1,53 @@
+package httpapi
+
+import "sync/atomic"
+
+// metrics is the server's expvar-style counter set, updated atomically
+// on every request and reported by /v1/stats. Counters only ever grow;
+// inFlight is the single gauge.
+type metrics struct {
+	requests      atomic.Uint64 // every request received, before any gate
+	rateLimited   atomic.Uint64 // 429s from the per-client token buckets
+	rejected      atomic.Uint64 // 503s from the global in-flight cap
+	errors        atomic.Uint64 // responses with status >= 400 (including the above)
+	cacheHits     atomic.Uint64 // responses served from the plan-keyed cache
+	cacheMisses   atomic.Uint64 // cacheable responses that had to execute
+	bytesStreamed atomic.Uint64 // response body bytes, all endpoints
+	inFlight      atomic.Int64  // requests currently inside a handler
+}
+
+// statsSnapshot is the JSON shape /v1/stats serves.
+type statsSnapshot struct {
+	Requests      uint64        `json:"requests"`
+	RateLimited   uint64        `json:"rate_limited"`
+	Rejected      uint64        `json:"rejected"`
+	Errors        uint64        `json:"errors"`
+	CacheHits     uint64        `json:"cache_hits"`
+	CacheMisses   uint64        `json:"cache_misses"`
+	CacheEntries  int           `json:"cache_entries"`
+	BytesStreamed uint64        `json:"bytes_streamed"`
+	InFlight      int64         `json:"in_flight"`
+	Backends      []backendInfo `json:"backends"`
+}
+
+// backendInfo describes one backend in /v1/stats.
+type backendInfo struct {
+	Kind      string `json:"kind"` // "store" or "remote"
+	Addr      string `json:"addr,omitempty"`
+	Versioned bool   `json:"versioned"`
+	Version   uint64 `json:"version,omitempty"`
+	Events    int    `json:"events,omitempty"`
+}
+
+func (m *metrics) snapshot() statsSnapshot {
+	return statsSnapshot{
+		Requests:      m.requests.Load(),
+		RateLimited:   m.rateLimited.Load(),
+		Rejected:      m.rejected.Load(),
+		Errors:        m.errors.Load(),
+		CacheHits:     m.cacheHits.Load(),
+		CacheMisses:   m.cacheMisses.Load(),
+		BytesStreamed: m.bytesStreamed.Load(),
+		InFlight:      m.inFlight.Load(),
+	}
+}

@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# serve_smoke.sh boots dosqueryd over a deterministically generated
+# scenario capture, curls the endpoint matrix, and diffs the responses
+# against the golden transcript in cmd/dosqueryd/testdata/. Run with
+# UPDATE=1 to regenerate the golden after an intentional API change.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+GOLDEN=cmd/dosqueryd/testdata/serve-smoke.golden
+ADDR=127.0.0.1:18080
+TMP=$(mktemp -d)
+PID=
+cleanup() {
+  [ -n "$PID" ] && kill "$PID" 2>/dev/null && wait "$PID" 2>/dev/null
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+echo "serve-smoke: generating scenario capture" >&2
+go run ./cmd/doscope -scale 0.0005 -seed 42 -save-events "$TMP/events" -section tables >/dev/null
+go build -o "$TMP/dosqueryd" ./cmd/dosqueryd
+
+"$TMP/dosqueryd" -listen "$ADDR" -events "$TMP/events" -quiet 2>"$TMP/boot.log" &
+PID=$!
+for i in $(seq 1 50); do
+  curl -sf "http://$ADDR/healthz" >/dev/null 2>&1 && break
+  if ! kill -0 "$PID" 2>/dev/null; then
+    echo "serve-smoke: dosqueryd died at boot:" >&2
+    cat "$TMP/boot.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+
+# get <label> <path> — append one labeled response to the transcript.
+get() {
+  echo "== $1" >>"$TMP/out"
+  curl -s "http://$ADDR$2" >>"$TMP/out"
+}
+# status <want> <path> — assert a failure-mode status code.
+status() {
+  got=$(curl -s -o /dev/null -w '%{http_code}' "http://$ADDR$2")
+  if [ "$got" != "$1" ]; then
+    echo "serve-smoke: GET $2: status $got, want $1" >&2
+    exit 1
+  fi
+}
+
+: >"$TMP/out"
+get healthz                 /healthz
+get count                   /v1/count
+get count-filtered          '/v1/count?source=honeypot&vectors=NTP,DNS&days=0..364'
+get count-vector            '/v1/count/vector?days=0..29'
+get count-day-slice         '/v1/count/day?source=telescope&days=0..6'
+get count-target-prefix     '/v1/count/target-prefix?group=8&top=5'
+get events-page1            '/v1/events?limit=3'
+CURSOR=$(tail -1 "$TMP/out" | sed -n 's/.*"next":"\([^"]*\)".*/\1/p')
+if [ -z "$CURSOR" ]; then
+  echo "serve-smoke: events page 1 returned no cursor" >&2
+  exit 1
+fi
+get events-page2            "/v1/events?limit=3&cursor=${CURSOR/:/%3A}"
+get figure1                 /v1/figures/1
+get figure5                 /v1/figures/5
+get figure6                 /v1/figures/6
+get figure7                 /v1/figures/7
+
+# /v1/stats moves with every request; assert it serves, not its body.
+status 200 /v1/stats
+status 400 '/v1/count?source=mars'
+status 400 '/v1/events?cursor=bogus'
+status 400 '/v1/figures/1?source=telescope'
+status 404 /v1/figures/3
+status 404 /v1/nope
+
+if [ "${UPDATE:-}" = 1 ]; then
+  mkdir -p "$(dirname "$GOLDEN")"
+  cp "$TMP/out" "$GOLDEN"
+  echo "serve-smoke: golden updated ($GOLDEN)" >&2
+  exit 0
+fi
+if ! diff -u "$GOLDEN" "$TMP/out"; then
+  echo "serve-smoke: responses diverged from $GOLDEN (run UPDATE=1 $0 if intentional)" >&2
+  exit 1
+fi
+echo "serve-smoke ok"
