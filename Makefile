@@ -10,7 +10,7 @@ BENCHTIME ?= 1x
 # The benchmark families whose ns/op the perf-trajectory record tracks.
 BENCH_RECORD ?= BenchmarkAgg|BenchmarkColumnarScan|BenchmarkSegmentOpen|BenchmarkLiveIngest|BenchmarkFederated|BenchmarkConcurrentQuery|BenchmarkHTTP
 
-.PHONY: build vet test race bench docs serve-smoke clean
+.PHONY: build vet test race bench chaos docs serve-smoke clean
 
 build:
 	$(GO) build ./...
@@ -30,11 +30,18 @@ race:
 
 # bench runs every benchmark in the module once as a smoke check and
 # records the query/columnar/segment/live-ingest/federation/concurrency
-# /http-serving suites' ns/op into BENCH_6.json.
+# /http-serving suites' ns/op into BENCH_7.json.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) ./... | tee bench.out
-	$(GO) run ./cmd/benchjson -match '$(BENCH_RECORD)' < bench.out > BENCH_6.json
+	$(GO) run ./cmd/benchjson -match '$(BENCH_RECORD)' < bench.out > BENCH_7.json
 	rm -f bench.out
+
+# chaos runs the degraded-mode packages under the race detector: the
+# fault-injection proxy, the circuit breaker (state machine, rejoin,
+# flapping-site stress), and the HTTP chaos sweep that checks every
+# endpoint's degraded answer against the healthy-subset oracle.
+chaos:
+	$(GO) test -race ./internal/faultnet ./internal/federation ./internal/httpapi
 
 # serve-smoke boots dosqueryd over a deterministic generated capture,
 # curls the endpoint matrix (counting, cursor pagination, figures,

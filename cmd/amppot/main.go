@@ -7,7 +7,7 @@
 //
 //	amppot [-listen 127.0.0.1] [-protocols NTP,DNS,CharGen] [-base-port 0]
 //	       [-duration 0] [-min-requests 100] [-gap 1h] [-flush 30s]
-//	       [-serve addr] [-serve-http addr] [-out file]
+//	       [-serve addr] [-serve-http addr] [-strict] [-out file]
 //
 // Extraction is live: every -flush interval the fleet drains completed
 // attack events into the capture store and a status line with
@@ -74,6 +74,7 @@ func main() {
 		flushEvery = flag.Duration("flush", 30*time.Second, "drain completed events into the live store this often (0 = only at shutdown)")
 		serveAddr  = flag.String("serve", "", "expose the live store to federation clients on this address (host:port or unix socket path)")
 		serveHTTP  = flag.String("serve-http", "", "expose the live store over the HTTP/JSON query API on this address (host:port)")
+		strict     = flag.Bool("strict", false, "-serve-http fails queries (502) on any backend error instead of serving degraded results")
 		out        = flag.String("out", "", "write events to this file instead of stdout CSV (.seg = DOSEVT02 segment, .bin = DOSEVT01, otherwise CSV)")
 	)
 	flag.Parse()
@@ -154,7 +155,7 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "amppot: http query api on http://%s/v1/\n", l.Addr())
-		httpSrv = httpapi.NewServer([]attack.Queryable{store})
+		httpSrv = httpapi.NewServer([]attack.Queryable{store}, httpapi.WithStrict(*strict))
 		go func() {
 			if err := httpSrv.Serve(l); err != nil {
 				fmt.Fprintln(os.Stderr, "amppot: http:", err)

@@ -8,7 +8,8 @@
 //
 //	dosqueryd [-listen 127.0.0.1:8080] [-events dir] [-seg file,...]
 //	          [-federate addr,...] [-cache 1024] [-rate 0] [-burst 10]
-//	          [-max-inflight 0] [-max-page 10000] [-quiet]
+//	          [-max-inflight 0] [-max-page 10000] [-strict]
+//	          [-breaker-failures 5] [-breaker-cooldown 1s] [-quiet]
 //
 // Backends merge in flag order: -events directories first (telescope
 // then honeypot), then -seg segments, then -federate sites. Counting
@@ -19,6 +20,16 @@
 // (requests per second, bursting to -burst); -max-inflight caps
 // concurrently executing requests across all clients, shedding the
 // excess with 503.
+//
+// Federated sites degrade rather than fail: when a site dies, queries
+// keep answering 200 from the surviving backends with a "degraded"
+// field naming the casualty, a per-site circuit breaker
+// (-breaker-failures consecutive failures to open, probed again after
+// -breaker-cooldown) stops the fleet from paying the dead site's
+// timeouts, and the site rejoins automatically when its health probe
+// answers. -strict restores the all-or-nothing discipline: any backend
+// failure turns the query into a 502. /healthz reports per-site
+// breaker states either way.
 //
 // SIGINT/SIGTERM shut down gracefully: the listener closes, in-flight
 // requests drain, then the process exits. See docs/API.md for the
@@ -54,6 +65,9 @@ func main() {
 		burst       = flag.Int("burst", 10, "per-client burst capacity when -rate is set")
 		maxInflight = flag.Int("max-inflight", 0, "global cap on concurrently executing requests (0 = unlimited)")
 		maxPage     = flag.Int("max-page", 10000, "largest /v1/events page a client may request")
+		strict      = flag.Bool("strict", false, "fail federated queries (502) when any backend fails, instead of serving degraded results")
+		brFailures  = flag.Int("breaker-failures", 5, "consecutive failures before a site's circuit breaker opens (0 disables the breaker)")
+		brCooldown  = flag.Duration("breaker-cooldown", time.Second, "how long an open breaker waits before probing the site again")
 		quiet       = flag.Bool("quiet", false, "suppress per-request log lines")
 	)
 	flag.Parse()
@@ -79,7 +93,9 @@ func main() {
 		names = append(names, fmt.Sprintf("%s (%d events)", path, st.Len()))
 	}
 	for _, addr := range splitList(*fedAddrs) {
-		r := federation.Dial(addr)
+		r := federation.Dial(addr,
+			federation.WithBreaker(*brFailures, *brCooldown),
+			federation.WithHealthProbe(*brCooldown))
 		defer r.Close()
 		backends = append(backends, r)
 		names = append(names, "federated site "+addr)
@@ -93,6 +109,7 @@ func main() {
 		httpapi.WithRateLimit(*rate, *burst),
 		httpapi.WithMaxInFlight(*maxInflight),
 		httpapi.WithMaxPage(*maxPage),
+		httpapi.WithStrict(*strict),
 	}
 	if !*quiet {
 		opts = append(opts, httpapi.WithLogger(log.New(os.Stderr, "dosqueryd: ", 0)))

@@ -5,20 +5,32 @@
 // site. Run with:
 //
 //	go run ./examples/federation
+//
+// With -chaos, the walkthrough continues into degraded mode: the
+// honeypot site is routed through a fault-injecting proxy
+// (internal/faultnet), blackholed mid-demo, and the same federated
+// query keeps answering from the surviving site — partial results with
+// per-site status, the circuit breaker opening, and the site rejoining
+// automatically once healed.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"net"
+	"time"
 
 	"doscope/internal/attack"
 	"doscope/internal/dossim"
+	"doscope/internal/faultnet"
 	"doscope/internal/federation"
 	"doscope/internal/netx"
 )
 
 func main() {
+	chaos := flag.Bool("chaos", false, "after the aggregate, blackhole the honeypot site and walk through degraded mode")
+	flag.Parse()
 	// One calibrated scenario, split across two "sites" the way the
 	// real deployments are: the telescope store at one vantage, the
 	// honeypot store at another.
@@ -32,9 +44,31 @@ func main() {
 	fmt.Printf("site A (telescope) on %s: %d events\n", siteA, sc.Telescope.Len())
 	fmt.Printf("site B (honeypot)  on %s: %d events\n", siteB, sc.Honeypot.Len())
 
+	// With -chaos, site B sits behind a fault-injecting proxy so the
+	// demo can injure and heal it; the client gets fast failure
+	// detection and an aggressive breaker so the walkthrough is brisk.
+	dialB := siteB
+	var proxy *faultnet.Proxy
+	var optsB []federation.Option
+	if *chaos {
+		p, err := faultnet.Listen(siteB, faultnet.Faults{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer p.Close()
+		proxy, dialB = p, p.Addr()
+		optsB = []federation.Option{
+			federation.WithAttempts(1),
+			federation.WithDialTimeout(500 * time.Millisecond),
+			federation.WithRequestTimeout(500 * time.Millisecond),
+			federation.WithBreaker(2, 200*time.Millisecond),
+			federation.WithHealthProbe(100 * time.Millisecond),
+		}
+	}
+
 	// The analysis plane: RemoteStores satisfy attack.Queryable, so the
 	// federated query reads exactly like a local QueryStores plan.
-	ra, rb := federation.Dial(siteA), federation.Dial(siteB)
+	ra, rb := federation.Dial(siteA), federation.Dial(dialB, optsB...)
 	defer ra.Close()
 	defer rb.Close()
 	fed := attack.QueryBackends(ra, rb)
@@ -90,6 +124,61 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("events on the most-attacked target, fetched across sites: %d\n", len(events))
+
+	if *chaos {
+		// A fresh query: fed still carries the target filter above.
+		chaosWalkthrough(attack.QueryBackends(ra, rb), proxy, rb, sc.Telescope)
+	}
+}
+
+// chaosWalkthrough injures site B and shows the degraded-mode story:
+// partial results with per-site status, the circuit breaker opening,
+// and automatic rejoin after healing.
+func chaosWalkthrough(fed *attack.FedQuery, proxy *faultnet.Proxy, rb *federation.RemoteStore, telescope *attack.Store) {
+	fmt.Println("\n--- chaos: blackholing the honeypot site ---")
+	proxy.SetFaults(faultnet.Faults{Blackhole: true})
+
+	n, statuses, err := fed.CountPartial()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("degraded federated count: %d (telescope-only check: %d)\n", n, telescope.Query().Count())
+	for _, st := range statuses {
+		if st.Err != nil {
+			fmt.Printf("  site %d: %s (%v)\n", st.Backend, st.State, st.Err)
+		} else {
+			fmt.Printf("  site %d: %s\n", st.Backend, st.State)
+		}
+	}
+
+	// A second failure trips the two-failure breaker: from here the
+	// dead site is skipped in memory instead of costing its timeout.
+	if _, _, err := fed.CountPartial(); err != nil {
+		log.Fatal(err)
+	}
+	bst, _ := rb.Breaker()
+	fmt.Printf("site B breaker: %s after %d consecutive failures\n", bst.State, bst.Failures)
+	start := time.Now()
+	if _, _, err := fed.CountPartial(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query with the breaker open: %v (no dial, no timeout)\n",
+		time.Since(start).Round(time.Millisecond))
+
+	fmt.Println("\n--- chaos: healing the site ---")
+	proxy.Heal()
+	for {
+		if bst, _ := rb.Breaker(); bst.State == federation.BreakerClosed {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	n, statuses, err = fed.CountPartial()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("health probe closed the breaker; federated count back to %d (degraded: %v)\n",
+		n, attack.Degraded(statuses))
 }
 
 // serveSite starts a federation server for st on a loopback listener

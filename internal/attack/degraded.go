@@ -1,0 +1,348 @@
+package attack
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"iter"
+)
+
+// ErrBackendSkipped marks a backend error that means the backend was
+// never tried at all — the wire client refused the request up front
+// (federation's circuit breaker wraps this when a site's breaker is
+// open). Degraded-mode terminals classify such backends as
+// BackendSkipped rather than BackendFailed, so a consumer can tell "the
+// site is known-dead and cost nothing" from "the site was tried and
+// broke mid-request".
+var ErrBackendSkipped = errors.New("backend skipped")
+
+// BackendState classifies one backend's outcome in a degraded-mode
+// federated terminal.
+type BackendState uint8
+
+const (
+	// BackendOK: the backend answered and its partial is merged into
+	// the result.
+	BackendOK BackendState = iota
+	// BackendFailed: the backend was tried and errored (or outlived the
+	// query's context budget); its partial is excluded.
+	BackendFailed
+	// BackendSkipped: the backend was not tried — its error wraps
+	// ErrBackendSkipped, e.g. an open circuit breaker.
+	BackendSkipped
+)
+
+// String returns the JSON-friendly state name.
+func (s BackendState) String() string {
+	switch s {
+	case BackendOK:
+		return "ok"
+	case BackendFailed:
+		return "failed"
+	case BackendSkipped:
+		return "skipped"
+	}
+	return fmt.Sprintf("BackendState(%d)", uint8(s))
+}
+
+// BackendStatus is one backend's outcome in a degraded-mode terminal,
+// in backend argument order (Backend is the index into the FedQuery's
+// backend set).
+type BackendStatus struct {
+	Backend int
+	State   BackendState
+	Err     error // nil when State is BackendOK
+}
+
+// Degraded reports whether any backend failed or was skipped — whether
+// the merged result is a partial answer rather than the full federated
+// one.
+func Degraded(statuses []BackendStatus) bool {
+	for _, s := range statuses {
+		if s.State != BackendOK {
+			return true
+		}
+	}
+	return false
+}
+
+// QueryableContext is the optional context-aware face of Queryable.
+// Backends whose requests cross a process boundary implement it so a
+// caller-supplied deadline bounds the whole request — connection
+// deadlines, retry sleeps and all — not just the fan-out wait
+// (federation.RemoteStore does). Local stores answer in-process and
+// need no cancellation; fanOut falls back to the plain methods for
+// backends that do not implement this.
+type QueryableContext interface {
+	PlanCountContext(ctx context.Context, p Plan) (int, error)
+	PlanCountByVectorContext(ctx context.Context, p Plan) ([NumVectors]int, error)
+	PlanCountByDayContext(ctx context.Context, p Plan) ([]int, error)
+	PlanStoreContext(ctx context.Context, p Plan) (*Store, io.Closer, error)
+}
+
+// Context bounds the whole federated fan-out by ctx: every backend leg
+// observes its deadline (context-aware backends abort in-flight wire
+// requests and retry sleeps; others are abandoned when the deadline
+// passes, their slot reported failed with the context error). The
+// default is context.Background() — no bound beyond each backend's own
+// transport timeouts.
+func (f *FedQuery) Context(ctx context.Context) *FedQuery {
+	f.ctx = ctx
+	return f
+}
+
+// statusFor classifies one backend outcome.
+func statusFor(i int, err error) BackendStatus {
+	switch {
+	case err == nil:
+		return BackendStatus{Backend: i}
+	case errors.Is(err, ErrBackendSkipped):
+		return BackendStatus{Backend: i, State: BackendSkipped, Err: err}
+	default:
+		return BackendStatus{Backend: i, State: BackendFailed, Err: err}
+	}
+}
+
+// fanOutStatus executes exec against every backend concurrently and
+// returns the partials and per-backend statuses in backend argument
+// order. It never fails as a whole: each backend's outcome lands in its
+// own status slot, and both strict and degraded terminals are built on
+// top of this one primitive.
+//
+// When the query's context expires, backends that have not answered are
+// abandoned: their slot reports BackendFailed with the context error,
+// and their late result (still being produced by a leaked goroutine) is
+// handed to discard — Stores uses that to close the closer of a partial
+// that arrived after the budget. Results travel over per-backend
+// buffered channels, never shared slices, so an abandoned goroutine's
+// late write cannot race the caller.
+func fanOutStatus[T any](f *FedQuery, exec func(ctx context.Context, b Queryable) (T, error), discard func(T)) ([]T, []BackendStatus) {
+	ctx := f.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	type result struct {
+		v   T
+		err error
+	}
+	chans := make([]chan result, len(f.backends))
+	for i, b := range f.backends {
+		chans[i] = make(chan result, 1)
+		go func(ch chan result, b Queryable) {
+			v, err := exec(ctx, b)
+			ch <- result{v, err}
+		}(chans[i], b)
+	}
+	partials := make([]T, len(f.backends))
+	statuses := make([]BackendStatus, len(f.backends))
+	expired := false
+	for i := range chans {
+		if !expired {
+			select {
+			case r := <-chans[i]:
+				partials[i], statuses[i] = r.v, statusFor(i, r.err)
+				continue
+			case <-ctx.Done():
+				expired = true
+			}
+		}
+		// Past the deadline: drain without waiting; a backend that has
+		// not answered is abandoned and its slot fails with ctx.Err().
+		select {
+		case r := <-chans[i]:
+			partials[i], statuses[i] = r.v, statusFor(i, r.err)
+		default:
+			statuses[i] = BackendStatus{Backend: i, State: BackendFailed, Err: ctx.Err()}
+			go func(ch chan result) {
+				if r := <-ch; r.err == nil && discard != nil {
+					discard(r.v)
+				}
+			}(chans[i])
+		}
+	}
+	return partials, statuses
+}
+
+// joinStatusErrs joins every backend error in backend order — the
+// strict terminals' error shape.
+func joinStatusErrs(statuses []BackendStatus) error {
+	errs := make([]error, len(statuses))
+	for i, s := range statuses {
+		errs[i] = s.Err
+	}
+	return errors.Join(errs...)
+}
+
+// allFailed returns a joined error when not one backend answered —
+// the only condition under which a degraded-mode terminal fails.
+func allFailed(statuses []BackendStatus) error {
+	for _, s := range statuses {
+		if s.State == BackendOK {
+			return nil
+		}
+	}
+	if len(statuses) == 0 {
+		return nil
+	}
+	return fmt.Errorf("federated query: all %d backends failed: %w", len(statuses), joinStatusErrs(statuses))
+}
+
+// The exec closures dispatch one plan terminal to one backend,
+// preferring the context-aware face when the backend has one.
+
+func execCount(p Plan) func(context.Context, Queryable) (int, error) {
+	return func(ctx context.Context, b Queryable) (int, error) {
+		if qc, ok := b.(QueryableContext); ok {
+			return qc.PlanCountContext(ctx, p)
+		}
+		return b.PlanCount(p)
+	}
+}
+
+func execCountByVector(p Plan) func(context.Context, Queryable) ([NumVectors]int, error) {
+	return func(ctx context.Context, b Queryable) ([NumVectors]int, error) {
+		if qc, ok := b.(QueryableContext); ok {
+			return qc.PlanCountByVectorContext(ctx, p)
+		}
+		return b.PlanCountByVector(p)
+	}
+}
+
+func execCountByDay(p Plan) func(context.Context, Queryable) ([]int, error) {
+	return func(ctx context.Context, b Queryable) ([]int, error) {
+		if qc, ok := b.(QueryableContext); ok {
+			return qc.PlanCountByDayContext(ctx, p)
+		}
+		return b.PlanCountByDay(p)
+	}
+}
+
+// storePart carries one backend's PlanStore result through the fan-out.
+type storePart struct {
+	st *Store
+	c  io.Closer
+}
+
+// discardStorePart releases a partial that arrived after the query's
+// deadline — nobody will iterate it.
+func discardStorePart(p storePart) {
+	if p.c != nil {
+		p.c.Close()
+	}
+}
+
+func execStore(p Plan) func(context.Context, Queryable) (storePart, error) {
+	return func(ctx context.Context, b Queryable) (storePart, error) {
+		if qc, ok := b.(QueryableContext); ok {
+			st, c, err := qc.PlanStoreContext(ctx, p)
+			return storePart{st, c}, err
+		}
+		st, c, err := b.PlanStore(p)
+		return storePart{st, c}, err
+	}
+}
+
+// CountPartial is the degraded-results Count: it merges the healthy
+// backends' partials and reports every backend's outcome alongside,
+// instead of discarding the healthy work because one site is down. The
+// error is non-nil only when no backend answered at all. The strict
+// all-or-nothing behavior remains on Count.
+func (f *FedQuery) CountPartial() (int, []BackendStatus, error) {
+	partials, statuses := fanOutStatus(f, execCount(f.plan), nil)
+	if err := allFailed(statuses); err != nil {
+		return 0, statuses, err
+	}
+	n := 0
+	for i, p := range partials {
+		if statuses[i].State == BackendOK {
+			n += p
+		}
+	}
+	return n, statuses, nil
+}
+
+// CountByVectorPartial is the degraded-results CountByVector; see
+// CountPartial for the contract.
+func (f *FedQuery) CountByVectorPartial() ([NumVectors]int, []BackendStatus, error) {
+	var out [NumVectors]int
+	partials, statuses := fanOutStatus(f, execCountByVector(f.plan), nil)
+	if err := allFailed(statuses); err != nil {
+		return out, statuses, err
+	}
+	for i, p := range partials {
+		if statuses[i].State != BackendOK {
+			continue
+		}
+		for v := range p {
+			out[v] += p[v]
+		}
+	}
+	return out, statuses, nil
+}
+
+// CountByDayPartial is the degraded-results CountByDay; see
+// CountPartial for the contract.
+func (f *FedQuery) CountByDayPartial() ([]int, []BackendStatus, error) {
+	partials, statuses := fanOutStatus(f, execCountByDay(f.plan), nil)
+	if err := allFailed(statuses); err != nil {
+		return nil, statuses, err
+	}
+	out := make([]int, WindowDays)
+	for i, p := range partials {
+		if statuses[i].State != BackendOK {
+			continue
+		}
+		for d, n := range p {
+			out[d] += n
+		}
+	}
+	return out, statuses, nil
+}
+
+// StoresPartial is the degraded-results Stores: the healthy backends'
+// store partials (in backend order, failed slots absent) plus every
+// backend's outcome. The closer releases the healthy partials and must
+// outlive them; it is non-nil whenever the error is nil.
+func (f *FedQuery) StoresPartial() ([]*Store, []BackendStatus, io.Closer, error) {
+	partials, statuses := fanOutStatus(f, execStore(f.plan), discardStorePart)
+	closers := make(multiCloser, 0, len(partials))
+	stores := make([]*Store, 0, len(partials))
+	for i, p := range partials {
+		if statuses[i].State != BackendOK {
+			continue
+		}
+		if p.st != nil {
+			stores = append(stores, p.st)
+		}
+		if p.c != nil {
+			closers = append(closers, p.c)
+		}
+	}
+	if err := allFailed(statuses); err != nil {
+		closers.Close()
+		return nil, statuses, nil, err
+	}
+	return stores, statuses, closers, nil
+}
+
+// IterPartial is the degraded-results Iter: events from the healthy
+// backends only, statuses alongside. Close the closer only after
+// iteration.
+func (f *FedQuery) IterPartial() (iter.Seq[*Event], []BackendStatus, io.Closer, error) {
+	stores, statuses, c, err := f.StoresPartial()
+	if err != nil {
+		return nil, statuses, nil, err
+	}
+	return f.plan.Query(stores...).Iter(), statuses, c, nil
+}
+
+// IterByStartPartial is the degraded-results IterByStart: the healthy
+// backends' events merged by start time, statuses alongside.
+func (f *FedQuery) IterByStartPartial() (iter.Seq[*Event], []BackendStatus, io.Closer, error) {
+	stores, statuses, c, err := f.StoresPartial()
+	if err != nil {
+		return nil, statuses, nil, err
+	}
+	return f.plan.Query(stores...).IterByStart(), statuses, c, nil
+}

@@ -1,10 +1,10 @@
 package attack
 
 import (
+	"context"
 	"errors"
 	"io"
 	"iter"
-	"sync"
 
 	"doscope/internal/netx"
 )
@@ -80,9 +80,19 @@ func (q *Query) Collect() *Store {
 //
 // Unlike Query, a FedQuery is reusable: terminals do not consume it, and
 // remote backends hold no per-query state.
+//
+// Terminals come in two failure disciplines. The plain terminals are
+// strict: any backend error fails the whole query (errors from all
+// backends joined). The *Partial terminals degrade instead: they merge
+// whatever the healthy backends answered and report a per-backend
+// BackendStatus vector alongside, failing only when no backend answered
+// at all — the shape a serving layer needs to keep answering with the
+// healthy subset while a site is down. Context bounds either kind by a
+// caller-supplied deadline.
 type FedQuery struct {
 	backends []Queryable
 	plan     Plan
+	ctx      context.Context
 }
 
 // QueryBackends starts a federated query over the given backends.
@@ -125,28 +135,20 @@ func (f *FedQuery) TargetPrefix(a netx.Addr, bits int) *FedQuery {
 func (f *FedQuery) Plan() Plan { return f.plan }
 
 // fanOut executes exec against every backend concurrently and returns
-// the partials in backend argument order. Errors from all backends are
-// joined, so one unreachable site reports alongside the others instead
-// of masking them.
-func fanOut[T any](f *FedQuery, exec func(Queryable) (T, error)) ([]T, error) {
-	partials := make([]T, len(f.backends))
-	errs := make([]error, len(f.backends))
-	var wg sync.WaitGroup
-	for i, b := range f.backends {
-		wg.Add(1)
-		go func(i int, b Queryable) {
-			defer wg.Done()
-			partials[i], errs[i] = exec(b)
-		}(i, b)
-	}
-	wg.Wait()
-	return partials, errors.Join(errs...)
+// the partials in backend argument order — the strict discipline:
+// errors from all backends are joined, so one unreachable site reports
+// alongside the others instead of masking them. discard receives late
+// results of backends abandoned at the context deadline (see
+// fanOutStatus).
+func fanOut[T any](f *FedQuery, exec func(context.Context, Queryable) (T, error), discard func(T)) ([]T, error) {
+	partials, statuses := fanOutStatus(f, exec, discard)
+	return partials, joinStatusErrs(statuses)
 }
 
 // Count returns the number of matching events across all backends.
 // Only count partials cross backend boundaries, never events.
 func (f *FedQuery) Count() (int, error) {
-	partials, err := fanOut(f, func(b Queryable) (int, error) { return b.PlanCount(f.plan) })
+	partials, err := fanOut(f, execCount(f.plan), nil)
 	if err != nil {
 		return 0, err
 	}
@@ -161,9 +163,7 @@ func (f *FedQuery) Count() (int, error) {
 // all backends, merged element-wise in backend order.
 func (f *FedQuery) CountByVector() ([NumVectors]int, error) {
 	var out [NumVectors]int
-	partials, err := fanOut(f, func(b Queryable) ([NumVectors]int, error) {
-		return b.PlanCountByVector(f.plan)
-	})
+	partials, err := fanOut(f, execCountByVector(f.plan), nil)
 	if err != nil {
 		return out, err
 	}
@@ -179,7 +179,7 @@ func (f *FedQuery) CountByVector() ([NumVectors]int, error) {
 // (length WindowDays) across all backends, merged element-wise in
 // backend order.
 func (f *FedQuery) CountByDay() ([]int, error) {
-	partials, err := fanOut(f, func(b Queryable) ([]int, error) { return b.PlanCountByDay(f.plan) })
+	partials, err := fanOut(f, execCountByDay(f.plan), nil)
 	if err != nil {
 		return nil, err
 	}
@@ -211,14 +211,7 @@ func (m multiCloser) Close() error {
 // store as-is. The closer releases every partial's backing memory and
 // must outlive the stores and any Event views derived from them.
 func (f *FedQuery) Stores() ([]*Store, io.Closer, error) {
-	type part struct {
-		st *Store
-		c  io.Closer
-	}
-	partials, err := fanOut(f, func(b Queryable) (part, error) {
-		st, c, err := b.PlanStore(f.plan)
-		return part{st, c}, err
-	})
+	partials, err := fanOut(f, execStore(f.plan), discardStorePart)
 	closers := make(multiCloser, 0, len(partials))
 	stores := make([]*Store, 0, len(partials))
 	for _, p := range partials {

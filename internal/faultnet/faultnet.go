@@ -1,0 +1,279 @@
+// Package faultnet is a deterministic fault-injecting TCP/unix proxy
+// for exercising partial-failure paths: it sits between a client and a
+// real server (a federation site, an HTTP backend) and injures the
+// connection in controlled, seed-reproducible ways — added latency,
+// refused connections, blackholed requests, resets mid-frame, truncated
+// or corrupted responses.
+//
+// The fault set is swappable at runtime (SetFaults), so a test or the
+// -chaos demo can blackhole a site, watch the serving layer degrade and
+// the circuit breaker open, then heal the site and watch it rejoin —
+// all without touching the server under test. Already-established
+// connections keep the faults they were accepted under; clients that
+// reconnect (every sane wire client after a failure) observe the new
+// set.
+//
+// Faults apply to the response direction (server → client): that is
+// where a query client can be hurt mid-answer. The request direction is
+// forwarded verbatim.
+package faultnet
+
+import (
+	"io"
+	"math/rand/v2"
+	"net"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Faults selects what the proxy does to connections and responses.
+// The zero value is a transparent proxy.
+type Faults struct {
+	// Refuse closes every accepted connection immediately — the
+	// dial-level failure mode (a down daemon, a refusing firewall).
+	Refuse bool
+	// Blackhole accepts and reads requests but never responds — the
+	// stall mode that only request deadlines can detect.
+	Blackhole bool
+	// Latency delays connection establishment and the first response
+	// byte of each connection by this much.
+	Latency time.Duration
+	// ResetAfter kills the connection after this many response bytes
+	// have been forwarded — a mid-frame connection reset (0 = off).
+	ResetAfter int64
+	// TruncateAfter stops forwarding response bytes after this many,
+	// then closes — a cleanly truncated response (0 = off).
+	TruncateAfter int64
+	// CorruptProb flips one bit in a response byte with this
+	// probability, drawn from the seeded per-connection stream — wire
+	// corruption a frame or segment reader must reject (0 = off).
+	CorruptProb float64
+	// Seed makes byte corruption reproducible: the same seed, fault
+	// set, and traffic corrupt the same byte positions.
+	Seed uint64
+}
+
+// Proxy is one listening fault injector in front of one target
+// address. Close it to stop accepting; in-flight connections are torn
+// down with it.
+type Proxy struct {
+	l       net.Listener
+	target  string
+	network string
+
+	mu     sync.Mutex
+	faults Faults
+	connID uint64 // per-connection corruption substream selector
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// Listen starts a proxy for the server at target (host:port, or a unix
+// socket path) on an ephemeral loopback port, injecting the given
+// faults. The proxy listens on TCP regardless of the target's network,
+// so it can front unix-socket sites for TCP-only clients too.
+func Listen(target string, faults Faults) (*Proxy, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{
+		l:       l,
+		target:  target,
+		network: netKind(target),
+		faults:  faults,
+		conns:   make(map[net.Conn]struct{}),
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address — what the client under test
+// dials instead of the real target.
+func (p *Proxy) Addr() string { return p.l.Addr().String() }
+
+// SetFaults swaps the fault set. New connections observe it
+// immediately. Arming any fault also severs established connections —
+// the way a crashed or partitioned site severs live TCP sessions, so a
+// client holding a warm connection feels the outage too. Healing does
+// not resurrect severed or injured connections (a client the site hung
+// up on must reconnect, and reconnecting observes health).
+func (p *Proxy) SetFaults(f Faults) {
+	p.mu.Lock()
+	p.faults = f
+	if f.faulty() {
+		for c := range p.conns {
+			c.Close()
+		}
+	}
+	p.mu.Unlock()
+}
+
+// faulty reports whether any fault is armed.
+func (f Faults) faulty() bool {
+	return f.Refuse || f.Blackhole || f.Latency > 0 || f.ResetAfter > 0 ||
+		f.TruncateAfter > 0 || f.CorruptProb > 0
+}
+
+// Faults returns the current fault set.
+func (p *Proxy) Faults() Faults {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.faults
+}
+
+// Heal clears every fault — shorthand for SetFaults(Faults{}).
+func (p *Proxy) Heal() { p.SetFaults(Faults{}) }
+
+// Close stops accepting and tears down every in-flight connection.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	err := p.l.Close()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.l.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			conn.Close()
+			return
+		}
+		f := p.faults
+		id := p.connID
+		p.connID++
+		p.conns[conn] = struct{}{}
+		p.wg.Add(1)
+		p.mu.Unlock()
+		go func() {
+			defer p.wg.Done()
+			p.serve(conn, f, id)
+			p.mu.Lock()
+			delete(p.conns, conn)
+			p.mu.Unlock()
+		}()
+	}
+}
+
+// track registers an upstream connection for teardown on Close.
+func (p *Proxy) track(c net.Conn) (untrack func()) {
+	p.mu.Lock()
+	p.conns[c] = struct{}{}
+	p.mu.Unlock()
+	return func() {
+		p.mu.Lock()
+		delete(p.conns, c)
+		p.mu.Unlock()
+	}
+}
+
+// serve runs one proxied connection under a fixed fault set.
+func (p *Proxy) serve(client net.Conn, f Faults, id uint64) {
+	defer client.Close()
+	if f.Refuse {
+		return
+	}
+	if f.Latency > 0 {
+		time.Sleep(f.Latency)
+	}
+	if f.Blackhole {
+		// Consume the requests so the client's writes succeed; never
+		// answer a byte. Only the client's own deadline ends this.
+		io.Copy(io.Discard, client)
+		return
+	}
+	up, err := net.DialTimeout(p.network, p.target, 5*time.Second)
+	if err != nil {
+		return
+	}
+	defer up.Close()
+	defer p.track(up)()
+
+	// Requests forward verbatim; when the client is done writing, the
+	// upstream learns via close so its handler unblocks.
+	go func() {
+		io.Copy(up, client)
+		up.Close()
+	}()
+	p.copyResponses(client, up, f, id)
+}
+
+// copyResponses forwards server→client bytes through the armed faults.
+func (p *Proxy) copyResponses(client, up net.Conn, f Faults, id uint64) {
+	// Two independent substreams per connection: same seed, same
+	// traffic, same corrupted byte positions — deterministic chaos.
+	rng := rand.New(rand.NewPCG(f.Seed, id))
+	var forwarded int64
+	buf := make([]byte, 32*1024)
+	first := true
+	for {
+		n, err := up.Read(buf)
+		if n > 0 {
+			if first && f.Latency > 0 {
+				time.Sleep(f.Latency)
+			}
+			first = false
+			chunk := buf[:n]
+			if f.CorruptProb > 0 {
+				for i := range chunk {
+					if rng.Float64() < f.CorruptProb {
+						chunk[i] ^= 1 << rng.IntN(8)
+					}
+				}
+			}
+			if f.TruncateAfter > 0 && forwarded+int64(len(chunk)) > f.TruncateAfter {
+				chunk = chunk[:f.TruncateAfter-forwarded]
+				client.Write(chunk)
+				return
+			}
+			if f.ResetAfter > 0 && forwarded+int64(len(chunk)) > f.ResetAfter {
+				chunk = chunk[:f.ResetAfter-forwarded]
+				client.Write(chunk)
+				abort(client)
+				return
+			}
+			if _, werr := client.Write(chunk); werr != nil {
+				return
+			}
+			forwarded += int64(n)
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// abort closes the client side as abruptly as the platform allows: RST
+// rather than FIN where SetLinger(0) is supported, so the client
+// observes a reset mid-frame, not a tidy EOF.
+func abort(c net.Conn) {
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+	c.Close()
+}
+
+// netKind mirrors federation's address convention: paths are unix
+// sockets, host:port pairs are TCP.
+func netKind(addr string) string {
+	if strings.ContainsRune(addr, '/') {
+		return "unix"
+	}
+	return "tcp"
+}

@@ -1,0 +1,265 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"os"
+	"testing"
+	"time"
+)
+
+// echoServer answers every connection with a fixed banner, then echoes
+// request bytes back — enough traffic shape to observe each fault.
+func echoServer(t *testing.T) (addr string, banner []byte) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	banner = bytes.Repeat([]byte("dosbanner"), 100) // 900 bytes
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				c.Write(banner)
+				io.Copy(c, c)
+			}()
+		}
+	}()
+	return l.Addr().String(), banner
+}
+
+func dialProxy(t *testing.T, p *Proxy) net.Conn {
+	t.Helper()
+	c, err := net.DialTimeout("tcp", p.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestTransparent(t *testing.T) {
+	addr, banner := echoServer(t)
+	p, err := Listen(addr, Faults{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+	got := make([]byte, len(banner))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, banner) {
+		t.Error("transparent proxy altered the response bytes")
+	}
+	// Request direction forwards too: echo round-trip.
+	c.Write([]byte("ping"))
+	echo := make([]byte, 4)
+	if _, err := io.ReadFull(c, echo); err != nil || string(echo) != "ping" {
+		t.Errorf("echo through proxy = %q, %v", echo, err)
+	}
+}
+
+func TestRefuse(t *testing.T) {
+	addr, _ := echoServer(t)
+	p, err := Listen(addr, Faults{Refuse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := c.Read(buf); err == nil {
+		t.Fatal("refused connection delivered response bytes")
+	}
+}
+
+func TestBlackhole(t *testing.T) {
+	addr, _ := echoServer(t)
+	p, err := Listen(addr, Faults{Blackhole: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+	// Writes succeed — the hole swallows them — but no byte ever comes
+	// back; only the client's own deadline ends the wait.
+	if _, err := c.Write([]byte("anyone home")); err != nil {
+		t.Fatalf("write into blackhole failed: %v", err)
+	}
+	c.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+	buf := make([]byte, 1)
+	if _, err := c.Read(buf); !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("blackhole read ended with %v, want deadline timeout", err)
+	}
+}
+
+func TestLatency(t *testing.T) {
+	addr, banner := echoServer(t)
+	const lat = 80 * time.Millisecond
+	p, err := Listen(addr, Faults{Latency: lat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	start := time.Now()
+	c := dialProxy(t, p)
+	got := make([]byte, len(banner))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < lat {
+		t.Errorf("first response byte after %v, want >= %v", d, lat)
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	addr, banner := echoServer(t)
+	p, err := Listen(addr, Faults{TruncateAfter: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+	got, _ := io.ReadAll(c)
+	if len(got) != 100 {
+		t.Fatalf("truncated response delivered %d bytes, want 100", len(got))
+	}
+	if !bytes.Equal(got, banner[:100]) {
+		t.Error("delivered prefix differs from the real response prefix")
+	}
+}
+
+func TestReset(t *testing.T) {
+	addr, _ := echoServer(t)
+	p, err := Listen(addr, Faults{ResetAfter: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	got, err := io.ReadAll(c)
+	if len(got) > 64 {
+		t.Fatalf("reset connection delivered %d bytes, want <= 64", len(got))
+	}
+	if err == nil && len(got) == 64 {
+		// Acceptable: some platforms surface the RST as a plain close
+		// after the partial delivery. The essential property is the
+		// response never completed.
+		return
+	}
+}
+
+func TestCorruptDeterministic(t *testing.T) {
+	addr, banner := echoServer(t)
+	read := func(seed uint64) []byte {
+		p, err := Listen(addr, Faults{CorruptProb: 0.05, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		c := dialProxy(t, p)
+		got := make([]byte, len(banner))
+		if _, err := io.ReadFull(c, got); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	a, b := read(7), read(7)
+	if !bytes.Equal(a, b) {
+		t.Error("same seed corrupted different byte positions")
+	}
+	if bytes.Equal(a, banner) {
+		t.Error("corruption fault delivered the response unmodified")
+	}
+	other := read(8)
+	if bytes.Equal(a, other) {
+		t.Error("different seeds corrupted identical positions — not seed-driven")
+	}
+}
+
+// TestHeal: faults swapped at runtime apply to new connections — the
+// injure → observe → heal → rejoin cycle the chaos tests drive.
+func TestHeal(t *testing.T) {
+	addr, banner := echoServer(t)
+	p, err := Listen(addr, Faults{Blackhole: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c := dialProxy(t, p)
+	c.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	if _, err := c.Read(make([]byte, 1)); err == nil {
+		t.Fatal("blackholed connection answered")
+	}
+
+	p.Heal()
+	if p.Faults() != (Faults{}) {
+		t.Fatalf("Faults after Heal = %+v", p.Faults())
+	}
+	c2 := dialProxy(t, p)
+	got := make([]byte, len(banner))
+	if _, err := io.ReadFull(c2, got); err != nil {
+		t.Fatalf("healed proxy still failing: %v", err)
+	}
+}
+
+// TestInjureSeversLiveConns: arming a fault kills established
+// connections, so a client holding a warm connection feels the outage
+// instead of riding out the chaos on a pre-fault session.
+func TestInjureSeversLiveConns(t *testing.T) {
+	addr, banner := echoServer(t)
+	p, err := Listen(addr, Faults{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+	got := make([]byte, len(banner))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	p.SetFaults(Faults{Blackhole: true})
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	// The live connection dies rather than continuing to echo.
+	c.Write([]byte("ping"))
+	if _, err := io.ReadFull(c, make([]byte, 4)); err == nil {
+		t.Fatal("pre-fault connection still answering after the site was injured")
+	}
+}
+
+func TestCloseTearsDownConns(t *testing.T) {
+	addr, _ := echoServer(t)
+	p, err := Listen(addr, Faults{Blackhole: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := dialProxy(t, p)
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Read(make([]byte, 1))
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	p.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("read on torn-down connection succeeded")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close left a blackholed connection parked")
+	}
+}

@@ -4,8 +4,10 @@ import (
 	"math/rand"
 	"net"
 	"testing"
+	"time"
 
 	"doscope/internal/attack"
+	"doscope/internal/faultnet"
 )
 
 // benchSite serves a store of n random events on loopback and returns
@@ -64,6 +66,52 @@ func BenchmarkFederatedCountSegmentShip(b *testing.B) {
 	b.StopTimer()
 	_, recv := r.WireBytes()
 	b.ReportMetric(float64(recv)/float64(b.N), "wire-B/op")
+}
+
+// BenchmarkFederatedCountOneSiteDown prices degraded-mode queries with
+// one of three sites blackholed: every CountPartial answers from the
+// two healthy sites either way, but without the breaker each op also
+// pays the dead site's full request timeout, while with it the site is
+// rejected in memory after the opening failure. The gap between the
+// two sub-benchmarks is what the breaker buys.
+func BenchmarkFederatedCountOneSiteDown(b *testing.B) {
+	const deadTimeout = 25 * time.Millisecond
+	run := func(b *testing.B, breaker Option) {
+		r1, _ := benchSite(b, benchEvents/10)
+		r2, _ := benchSite(b, benchEvents/10)
+		// The dead site: a blackhole proxy — dials succeed, requests
+		// vanish — so only the request deadline detects the outage.
+		proxy, err := faultnet.Listen("127.0.0.1:9", faultnet.Faults{Blackhole: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { proxy.Close() })
+		dead := Dial(proxy.Addr(),
+			WithAttempts(1),
+			WithDialTimeout(deadTimeout),
+			WithRequestTimeout(deadTimeout),
+			WithHealthProbe(0),
+			breaker)
+		b.Cleanup(func() { dead.Close() })
+		fed := attack.QueryBackends(r1, r2, dead)
+		// One warm-up op outside the timer: it trips the breaker (when
+		// enabled) so the loop measures the steady degraded state.
+		if _, _, err := fed.CountPartial(); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, statuses, err := fed.CountPartial()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !attack.Degraded(statuses) {
+				b.Fatal("blackholed site did not degrade the count")
+			}
+		}
+	}
+	b.Run("breaker", func(b *testing.B) { run(b, WithBreaker(1, time.Hour)) })
+	b.Run("no-breaker", func(b *testing.B) { run(b, WithBreaker(0, 0)) })
 }
 
 // BenchmarkFederatedFetchOpen measures the iteration-terminal path: a

@@ -1,0 +1,142 @@
+package federation
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"doscope/internal/attack"
+)
+
+// ErrCircuitOpen is the error a RemoteStore returns — wrapped with the
+// site address — when its circuit breaker rejects a request without
+// touching the network. It wraps attack.ErrBackendSkipped, so
+// degraded-mode federated terminals classify the site as skipped (known
+// dead, cost nothing) rather than failed (tried and broke).
+var ErrCircuitOpen = fmt.Errorf("circuit open: %w", attack.ErrBackendSkipped)
+
+// BreakerState is one circuit-breaker state.
+type BreakerState uint8
+
+const (
+	// BreakerClosed: requests flow; consecutive failures are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: requests are rejected immediately with
+	// ErrCircuitOpen until the cool-down elapses.
+	BreakerOpen
+	// BreakerHalfOpen: the cool-down elapsed; exactly one probe request
+	// is allowed through. Success closes the breaker, failure reopens
+	// it for another cool-down.
+	BreakerHalfOpen
+)
+
+// String returns the JSON-friendly state name.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return fmt.Sprintf("BreakerState(%d)", uint8(s))
+}
+
+// BreakerStatus is a point-in-time breaker snapshot for ops surfaces
+// (the HTTP front end's /healthz and /v1/stats).
+type BreakerStatus struct {
+	State    BreakerState
+	Failures int // consecutive failures since the last success
+}
+
+// breaker is the per-site circuit breaker: threshold consecutive
+// failures open it, a cool-down later one request probes half-open, and
+// one success closes it again. Without it a dead site costs every
+// federated query attempts×(dial timeout + backoff); with it the site
+// costs one in-memory check until it heals.
+//
+// The clock is injectable for deterministic state-machine tests. All
+// methods are safe for concurrent use — the breaker is the one piece of
+// RemoteStore state shared by requests, the background health prober,
+// and ops snapshots.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// allow reports whether a request may proceed. In the open state it
+// rejects with ErrCircuitOpen until the cool-down elapses, then admits
+// exactly one request as the half-open probe; concurrent requests keep
+// being rejected until that probe settles.
+func (b *breaker) allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return nil
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return ErrCircuitOpen
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return nil
+	default: // BreakerHalfOpen
+		if b.probing {
+			return ErrCircuitOpen
+		}
+		b.probing = true
+		return nil
+	}
+}
+
+// success records a completed request: any success closes the breaker
+// and clears the failure run, whatever state it was in.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.failures = 0
+	b.probing = false
+}
+
+// failure records a failed request and reports whether the breaker is
+// now open. A half-open probe failure reopens for another cool-down; a
+// closed-state failure opens once the consecutive run reaches the
+// threshold.
+func (b *breaker) failure() (open bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures++
+	switch b.state {
+	case BreakerHalfOpen:
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		b.probing = false
+	case BreakerClosed:
+		if b.failures >= b.threshold {
+			b.state = BreakerOpen
+			b.openedAt = b.now()
+		}
+	}
+	return b.state == BreakerOpen
+}
+
+// status snapshots the breaker for ops surfaces.
+func (b *breaker) status() BreakerStatus {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerStatus{State: b.state, Failures: b.failures}
+}

@@ -1,6 +1,7 @@
 package federation
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -33,20 +34,36 @@ import (
 // error — fail immediately: a corrupt stream cannot be resynchronized,
 // and retrying would mask the corruption.
 //
+// Failure policy: a per-site circuit breaker (on by default, see
+// WithBreaker) opens after a run of consecutive failures, after which
+// requests fail immediately with ErrCircuitOpen — an in-memory check,
+// no dial, no backoff — until a cool-down passes and a half-open probe
+// (or the background health prober, see WithHealthProbe) finds the site
+// answering again. ErrCircuitOpen wraps attack.ErrBackendSkipped, so
+// degraded-mode federated terminals report the site as skipped while
+// the healthy backends keep answering.
+//
 // A RemoteStore is safe for concurrent use; requests are serialized on
 // the connection.
 type RemoteStore struct {
 	addr    string
 	network string
 
-	attempts    int
-	backoff     time.Duration
-	maxBackoff  time.Duration
-	dialTimeout time.Duration
-	reqTimeout  time.Duration
+	attempts      int
+	backoff       time.Duration
+	maxBackoff    time.Duration
+	dialTimeout   time.Duration
+	reqTimeout    time.Duration
+	probeInterval time.Duration
+
+	br *breaker // nil when disabled
 
 	mu   sync.Mutex
 	conn net.Conn
+
+	probeMu sync.Mutex
+	prober  chan struct{} // non-nil while the health prober runs
+	closed  bool
 
 	sent, recv atomic.Uint64
 }
@@ -96,19 +113,48 @@ func WithRequestTimeout(d time.Duration) Option {
 	return func(r *RemoteStore) { r.reqTimeout = d }
 }
 
+// WithBreaker tunes the per-site circuit breaker: threshold consecutive
+// failures open it, and after cooldown one request is admitted as a
+// half-open probe (default 5 failures, 1s cool-down). threshold <= 0
+// disables the breaker entirely — every request then pays the full
+// dial/retry cost against a dead site, the pre-breaker behavior.
+func WithBreaker(threshold int, cooldown time.Duration) Option {
+	return func(r *RemoteStore) {
+		if threshold <= 0 {
+			r.br = nil
+			return
+		}
+		if cooldown <= 0 {
+			cooldown = time.Second
+		}
+		r.br = newBreaker(threshold, cooldown)
+	}
+}
+
+// WithHealthProbe sets how often an open breaker is probed in the
+// background with a version frame (the 8-byte 0x05 exchange), so a
+// healed site rejoins without waiting for a live request to half-open
+// the breaker (default 1s; 0 disables background probing — the site
+// then rejoins only via a half-open request probe).
+func WithHealthProbe(interval time.Duration) Option {
+	return func(r *RemoteStore) { r.probeInterval = interval }
+}
+
 // Dial prepares a client for the site at addr — a host:port pair, or a
 // unix socket path when addr contains a path separator. No connection
 // is opened until the first request, so constructing clients for sites
 // that are still starting up is fine.
 func Dial(addr string, opts ...Option) *RemoteStore {
 	r := &RemoteStore{
-		addr:        addr,
-		network:     netKind(addr),
-		attempts:    3,
-		backoff:     50 * time.Millisecond,
-		maxBackoff:  5 * time.Second,
-		dialTimeout: 5 * time.Second,
-		reqTimeout:  60 * time.Second,
+		addr:          addr,
+		network:       netKind(addr),
+		attempts:      3,
+		backoff:       50 * time.Millisecond,
+		maxBackoff:    5 * time.Second,
+		dialTimeout:   5 * time.Second,
+		reqTimeout:    60 * time.Second,
+		probeInterval: time.Second,
+		br:            newBreaker(5, time.Second),
 	}
 	for _, o := range opts {
 		o(r)
@@ -119,8 +165,16 @@ func Dial(addr string, opts ...Option) *RemoteStore {
 // Addr returns the site address the client ships plans to.
 func (r *RemoteStore) Addr() string { return r.addr }
 
-// Close drops the cached connection; a later request re-dials.
+// Close drops the cached connection and stops the background health
+// prober; a later request re-dials.
 func (r *RemoteStore) Close() error {
+	r.probeMu.Lock()
+	r.closed = true
+	if r.prober != nil {
+		close(r.prober)
+		r.prober = nil
+	}
+	r.probeMu.Unlock()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.conn == nil {
@@ -129,6 +183,15 @@ func (r *RemoteStore) Close() error {
 	err := r.conn.Close()
 	r.conn = nil
 	return err
+}
+
+// Breaker snapshots the site's circuit breaker; enabled is false when
+// the breaker was disabled via WithBreaker(0, ...).
+func (r *RemoteStore) Breaker() (status BreakerStatus, enabled bool) {
+	if r.br == nil {
+		return BreakerStatus{}, false
+	}
+	return r.br.status(), true
 }
 
 // WireBytes reports the cumulative payload-plus-header bytes this client
@@ -177,26 +240,132 @@ func (r *RemoteStore) backoffFor(attempt int) time.Duration {
 	return d/2 + time.Duration(rand.Int64N(int64(d-d/2)+1))
 }
 
-// roundTrip sends one request frame and reads its response, retrying
-// transport failures per the policy above. It returns the response
-// payload after unwrapping error frames.
+// roundTrip sends one request frame and reads its response through the
+// breaker gate, without a caller deadline.
 func (r *RemoteStore) roundTrip(reqType byte, req []byte, wantResp byte) ([]byte, error) {
+	return r.roundTripCtx(context.Background(), reqType, req, wantResp)
+}
+
+// roundTripCtx is every request's path: the breaker gate first (an open
+// breaker rejects in memory, no dial, no backoff), then the wire
+// exchange bounded by ctx, then the outcome feeds the breaker.
+func (r *RemoteStore) roundTripCtx(ctx context.Context, reqType byte, req []byte, wantResp byte) ([]byte, error) {
+	if r.br != nil {
+		if err := r.br.allow(); err != nil {
+			return nil, fmt.Errorf("federation: %s: %w", r.addr, err)
+		}
+	}
+	payload, err := r.do(ctx, reqType, req, wantResp)
+	r.record(err)
+	return payload, err
+}
+
+// record classifies one request outcome for the breaker. A server that
+// answered — even with an error frame — proves the site and path
+// healthy; a cancelled caller context proves nothing either way.
+// Everything else (dial failures, timeouts, resets, corrupt frames) is
+// a failure, and the transition to open starts the background health
+// prober.
+func (r *RemoteStore) record(err error) {
+	if r.br == nil {
+		return
+	}
+	var re remoteError
+	switch {
+	case err == nil, errors.As(err, &re):
+		r.br.success()
+	case errors.Is(err, context.Canceled):
+	default:
+		if r.br.failure() {
+			r.ensureProber()
+		}
+	}
+}
+
+// ensureProber starts the background health prober if it is enabled
+// and not already running. The prober re-checks the site with a
+// version frame every probe interval and exits once one succeeds
+// (closing the breaker — the site rejoined) or the client closes.
+func (r *RemoteStore) ensureProber() {
+	r.probeMu.Lock()
+	defer r.probeMu.Unlock()
+	if r.probeInterval <= 0 || r.prober != nil || r.closed {
+		return
+	}
+	stop := make(chan struct{})
+	r.prober = stop
+	go r.probeLoop(stop)
+}
+
+func (r *RemoteStore) probeLoop(stop chan struct{}) {
+	tick := time.NewTicker(r.probeInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			// Bypass the breaker gate — probing an open breaker is the
+			// point — but bound each probe so a blackholed site cannot
+			// wedge the loop for the full request timeout.
+			ctx, cancel := context.WithTimeout(context.Background(), r.probeInterval)
+			_, err := r.do(ctx, typeReqVersion, nil, typeRespVersion)
+			cancel()
+			if err == nil {
+				r.br.success()
+				r.probeMu.Lock()
+				if r.prober == stop {
+					r.prober = nil
+				}
+				r.probeMu.Unlock()
+				return
+			}
+		}
+	}
+}
+
+// sleepCtx sleeps for d or until ctx is done, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// do sends one request frame and reads its response, retrying transport
+// failures per the policy above. The context bounds the whole call —
+// dial, exchange, and retry sleeps — so a caller-supplied budget caps a
+// request's worst case, not just each leg of it.
+func (r *RemoteStore) do(ctx context.Context, reqType byte, req []byte, wantResp byte) ([]byte, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	var lastErr error
 	for attempt := 0; attempt < r.attempts; attempt++ {
 		if attempt > 0 {
-			time.Sleep(r.backoffFor(attempt))
+			if err := sleepCtx(ctx, r.backoffFor(attempt)); err != nil {
+				return nil, fmt.Errorf("federation: %s: %w (last error: %w)", r.addr, err, lastErr)
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("federation: %s: %w", r.addr, err)
 		}
 		if r.conn == nil {
-			conn, err := net.DialTimeout(r.network, r.addr, r.dialTimeout)
+			d := net.Dialer{Timeout: r.dialTimeout}
+			conn, err := d.DialContext(ctx, r.network, r.addr)
 			if err != nil {
 				lastErr = err
+				if !retryable(err) {
+					return nil, fmt.Errorf("federation: %s: %w", r.addr, err)
+				}
 				continue
 			}
 			r.conn = countingConn{conn, r}
 		}
-		payload, err := r.exchange(req, reqType, wantResp)
+		payload, err := r.exchange(ctx, req, reqType, wantResp)
 		if err == nil {
 			return payload, nil
 		}
@@ -212,11 +381,19 @@ func (r *RemoteStore) roundTrip(reqType byte, req []byte, wantResp byte) ([]byte
 }
 
 // exchange performs one request/response on the live connection,
-// bounded by the request timeout (a deadline violation is a transport
-// error: the connection is dropped and the request retried).
-func (r *RemoteStore) exchange(req []byte, reqType, wantResp byte) ([]byte, error) {
+// bounded by the request timeout and the context deadline, whichever
+// is sooner (a deadline violation is a transport error: the connection
+// is dropped and the request retried).
+func (r *RemoteStore) exchange(ctx context.Context, req []byte, reqType, wantResp byte) ([]byte, error) {
+	var deadline time.Time
 	if r.reqTimeout > 0 {
-		if err := r.conn.SetDeadline(time.Now().Add(r.reqTimeout)); err != nil {
+		deadline = time.Now().Add(r.reqTimeout)
+	}
+	if d, ok := ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
+		deadline = d
+	}
+	if !deadline.IsZero() {
+		if err := r.conn.SetDeadline(deadline); err != nil {
 			return nil, err
 		}
 	}
@@ -246,23 +423,33 @@ type remoteError string
 func (e remoteError) Error() string { return "remote: " + string(e) }
 
 // retryable separates transport failures (retry on a fresh connection)
-// from protocol failures (fail fast; see the RemoteStore doc comment).
+// from protocol failures and context expiry (fail fast; see the
+// RemoteStore doc comment — a spent caller budget must surface, not
+// burn more attempts).
 func retryable(err error) bool {
 	var fe frameError
 	var re remoteError
 	switch {
-	case errors.As(err, &fe), errors.As(err, &re), errors.Is(err, io.ErrUnexpectedEOF):
+	case errors.As(err, &fe), errors.As(err, &re), errors.Is(err, io.ErrUnexpectedEOF),
+		errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		return false
 	}
 	return true
 }
 
 var _ attack.Queryable = (*RemoteStore)(nil)
+var _ attack.QueryableContext = (*RemoteStore)(nil)
 
 // PlanCount executes the plan's Count terminal at the site. Only the
 // 20-byte plan and an 8-byte count cross the wire.
 func (r *RemoteStore) PlanCount(p attack.Plan) (int, error) {
-	payload, err := r.roundTrip(typeReqCount, p.AppendBinary(nil), typeRespCount)
+	return r.PlanCountContext(context.Background(), p)
+}
+
+// PlanCountContext is PlanCount bounded by ctx: the deadline covers the
+// dial, the exchange, and any retry sleeps.
+func (r *RemoteStore) PlanCountContext(ctx context.Context, p attack.Plan) (int, error) {
+	payload, err := r.roundTripCtx(ctx, typeReqCount, p.AppendBinary(nil), typeRespCount)
 	if err != nil {
 		return 0, err
 	}
@@ -275,8 +462,13 @@ func (r *RemoteStore) PlanCount(p attack.Plan) (int, error) {
 // PlanCountByVector executes the plan's CountByVector terminal at the
 // site; the response is one fixed-size row of index cells.
 func (r *RemoteStore) PlanCountByVector(p attack.Plan) ([attack.NumVectors]int, error) {
+	return r.PlanCountByVectorContext(context.Background(), p)
+}
+
+// PlanCountByVectorContext is PlanCountByVector bounded by ctx.
+func (r *RemoteStore) PlanCountByVectorContext(ctx context.Context, p attack.Plan) ([attack.NumVectors]int, error) {
 	var out [attack.NumVectors]int
-	payload, err := r.roundTrip(typeReqCountByVector, p.AppendBinary(nil), typeRespCountByVector)
+	payload, err := r.roundTripCtx(ctx, typeReqCountByVector, p.AppendBinary(nil), typeRespCountByVector)
 	if err != nil {
 		return out, err
 	}
@@ -292,7 +484,12 @@ func (r *RemoteStore) PlanCountByVector(p attack.Plan) ([attack.NumVectors]int, 
 // PlanCountByDay executes the plan's CountByDay terminal at the site;
 // the response is the WindowDays-cell daily index row.
 func (r *RemoteStore) PlanCountByDay(p attack.Plan) ([]int, error) {
-	payload, err := r.roundTrip(typeReqCountByDay, p.AppendBinary(nil), typeRespCountByDay)
+	return r.PlanCountByDayContext(context.Background(), p)
+}
+
+// PlanCountByDayContext is PlanCountByDay bounded by ctx.
+func (r *RemoteStore) PlanCountByDayContext(ctx context.Context, p attack.Plan) ([]int, error) {
+	payload, err := r.roundTripCtx(ctx, typeReqCountByDay, p.AppendBinary(nil), typeRespCountByDay)
 	if err != nil {
 		return nil, err
 	}
@@ -327,7 +524,12 @@ func (r *RemoteStore) Version() (uint64, error) {
 // bytes. The returned closer is a no-op (the buffer is heap memory),
 // but callers should still close it per the Queryable contract.
 func (r *RemoteStore) PlanStore(p attack.Plan) (*attack.Store, io.Closer, error) {
-	payload, err := r.roundTrip(typeReqFetch, p.AppendBinary(nil), typeRespSegment)
+	return r.PlanStoreContext(context.Background(), p)
+}
+
+// PlanStoreContext is PlanStore bounded by ctx.
+func (r *RemoteStore) PlanStoreContext(ctx context.Context, p attack.Plan) (*attack.Store, io.Closer, error) {
+	payload, err := r.roundTripCtx(ctx, typeReqFetch, p.AppendBinary(nil), typeRespSegment)
 	if err != nil {
 		return nil, nil, err
 	}

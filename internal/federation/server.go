@@ -11,6 +11,7 @@ import (
 	"os"
 	"strings"
 	"sync"
+	"time"
 
 	"doscope/internal/attack"
 )
@@ -49,16 +50,37 @@ func NewServer(st *attack.Store) *Server {
 
 // Serve accepts connections until the listener closes, handling each on
 // its own goroutine; handlers run concurrently. It returns nil when the
-// listener is closed.
+// listener is closed. Transient Accept failures — EMFILE-style resource
+// exhaustion, aborted handshakes, anything the listener reports as a
+// temporary net.Error — are retried with capped exponential backoff
+// (5ms doubling to 1s, the net/http.Server discipline) instead of
+// killing the accept loop and silently taking the site offline.
 func (s *Server) Serve(l net.Listener) error {
+	var tempDelay time.Duration
 	for {
 		conn, err := l.Accept()
 		if err != nil {
 			if errors.Is(err, net.ErrClosed) {
 				return nil
 			}
+			var ne net.Error
+			//lint:ignore SA1019 Temporary is how listeners still signal
+			// EMFILE/ECONNABORTED-style transience; net/http does the same.
+			if errors.As(err, &ne) && ne.Temporary() { //nolint:staticcheck
+				if tempDelay == 0 {
+					tempDelay = 5 * time.Millisecond
+				} else {
+					tempDelay *= 2
+				}
+				if tempDelay > time.Second {
+					tempDelay = time.Second
+				}
+				time.Sleep(tempDelay)
+				continue
+			}
 			return err
 		}
+		tempDelay = 0
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()

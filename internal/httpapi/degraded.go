@@ -1,0 +1,139 @@
+package httpapi
+
+import (
+	"context"
+	"io"
+	"iter"
+
+	"doscope/internal/attack"
+)
+
+// Degraded-results policy. By default the server serves whatever the
+// healthy backends answer: a federated query that loses a site returns
+// 200 with the surviving backends' merged result and a "degraded"
+// field naming the casualties, instead of turning one dead site into a
+// fleet-wide 502. WithStrict restores the all-or-nothing discipline
+// for consumers that would rather fail than undercount.
+//
+// Degraded bodies are never written to — or served from — the
+// version-vector response cache: the cache stores only whole answers.
+
+// WithStrict selects the all-or-nothing failure discipline: any
+// backend failure fails the request with 502, the pre-degraded-mode
+// behavior. The default is degraded mode — partial results with
+// per-backend status.
+func WithStrict(strict bool) Option {
+	return func(s *Server) { s.strict = strict }
+}
+
+// backendStatusJSON is one backend's outcome in a degraded response.
+type backendStatusJSON struct {
+	Backend int    `json:"backend"`
+	State   string `json:"state"` // "ok", "failed", "skipped"
+	Error   string `json:"error,omitempty"`
+}
+
+// degradedJSON is the "degraded" response field: present only when at
+// least one backend did not contribute, so healthy responses are
+// byte-identical to the pre-degraded-mode wire format.
+type degradedJSON struct {
+	Failed   int                 `json:"failed"`
+	Skipped  int                 `json:"skipped"`
+	Backends []backendStatusJSON `json:"backends"`
+}
+
+// degradedFrom renders fan-out statuses for the response body: nil —
+// the field marshals away — unless some backend failed or was skipped.
+func degradedFrom(statuses []attack.BackendStatus) *degradedJSON {
+	if !attack.Degraded(statuses) {
+		return nil
+	}
+	d := &degradedJSON{Backends: make([]backendStatusJSON, len(statuses))}
+	for i, st := range statuses {
+		j := backendStatusJSON{Backend: st.Backend, State: st.State.String()}
+		if st.Err != nil {
+			j.Error = st.Err.Error()
+		}
+		switch st.State {
+		case attack.BackendFailed:
+			d.Failed++
+		case attack.BackendSkipped:
+			d.Skipped++
+		}
+		d.Backends[i] = j
+	}
+	return d
+}
+
+// mergeStatuses folds per-backend outcomes across the several fan-outs
+// one endpoint may run (figure 1 executes three plans): a backend is
+// only as healthy as its worst outcome.
+func mergeStatuses(a, b []attack.BackendStatus) []attack.BackendStatus {
+	if a == nil {
+		return b
+	}
+	for i := range a {
+		if i < len(b) && a[i].State == attack.BackendOK && b[i].State != attack.BackendOK {
+			a[i].State, a[i].Err = b[i].State, b[i].Err
+		}
+	}
+	return a
+}
+
+// The fed* helpers run one fan-out terminal under the server's failure
+// discipline: strict mode surfaces any backend error (the caller 502s),
+// degraded mode reports per-backend statuses alongside the healthy
+// subset's merged answer. The request context bounds the whole fan-out
+// either way — a hung site costs the caller its deadline, not forever.
+
+func (s *Server) query(ctx context.Context, p attack.Plan) *attack.FedQuery {
+	return attack.QueryPlan(p, s.backends...).Context(ctx)
+}
+
+func (s *Server) fedCount(ctx context.Context, p attack.Plan) (int, []attack.BackendStatus, error) {
+	if s.strict {
+		n, err := s.query(ctx, p).Count()
+		return n, nil, err
+	}
+	return s.query(ctx, p).CountPartial()
+}
+
+func (s *Server) fedCountByVector(ctx context.Context, p attack.Plan) ([attack.NumVectors]int, []attack.BackendStatus, error) {
+	if s.strict {
+		counts, err := s.query(ctx, p).CountByVector()
+		return counts, nil, err
+	}
+	return s.query(ctx, p).CountByVectorPartial()
+}
+
+func (s *Server) fedCountByDay(ctx context.Context, p attack.Plan) ([]int, []attack.BackendStatus, error) {
+	if s.strict {
+		days, err := s.query(ctx, p).CountByDay()
+		return days, nil, err
+	}
+	return s.query(ctx, p).CountByDayPartial()
+}
+
+func (s *Server) fedStores(ctx context.Context, p attack.Plan) ([]*attack.Store, []attack.BackendStatus, io.Closer, error) {
+	if s.strict {
+		stores, closer, err := s.query(ctx, p).Stores()
+		return stores, nil, closer, err
+	}
+	return s.query(ctx, p).StoresPartial()
+}
+
+func (s *Server) fedIter(ctx context.Context, p attack.Plan) (iter.Seq[*attack.Event], []attack.BackendStatus, io.Closer, error) {
+	if s.strict {
+		it, closer, err := s.query(ctx, p).Iter()
+		return it, nil, closer, err
+	}
+	return s.query(ctx, p).IterPartial()
+}
+
+func (s *Server) fedIterByStart(ctx context.Context, p attack.Plan) (iter.Seq[*attack.Event], []attack.BackendStatus, io.Closer, error) {
+	if s.strict {
+		it, closer, err := s.query(ctx, p).IterByStart()
+		return it, nil, closer, err
+	}
+	return s.query(ctx, p).IterByStartPartial()
+}

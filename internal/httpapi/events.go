@@ -45,10 +45,11 @@ func toEventJSON(e *attack.Event) eventJSON {
 // that resumes exactly after the last emitted event. Clients
 // distinguish it from event lines by the "page" field.
 type eventsTrailer struct {
-	Page  bool   `json:"page"`
-	Count int    `json:"count"`
-	More  bool   `json:"more"`
-	Next  string `json:"next,omitempty"`
+	Page     bool          `json:"page"`
+	Count    int           `json:"count"`
+	More     bool          `json:"more"`
+	Next     string        `json:"next,omitempty"`
+	Degraded *degradedJSON `json:"degraded,omitempty"`
 }
 
 // cursor addresses a position in the global IterByStart order: resume
@@ -127,7 +128,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if resuming {
 		exec = narrowToCursor(p, cur)
 	}
-	it, closer, err := attack.QueryPlan(exec, s.backends...).IterByStart()
+	it, statuses, closer, err := s.fedIterByStart(r.Context(), exec)
 	if err != nil {
 		writeError(w, http.StatusBadGateway, err.Error())
 		return
@@ -172,7 +173,10 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
-	trailer := eventsTrailer{Page: true, Count: emitted, More: more}
+	trailer := eventsTrailer{Page: true, Count: emitted, More: more, Degraded: degradedFrom(statuses)}
+	if trailer.Degraded != nil {
+		s.metrics.degraded.Add(1)
+	}
 	if more {
 		next := cursor{ts: lastTS, skip: lastTies}
 		if resuming && lastTS == cur.ts {

@@ -2,6 +2,7 @@ package httpapi
 
 import (
 	"cmp"
+	"context"
 	"fmt"
 	"net/http"
 	"slices"
@@ -30,11 +31,12 @@ import (
 // per sensor plus the combined view, straight from the per-day count
 // indexes (three CountByDay plans, no event scan).
 type figure1Response struct {
-	Plan      string `json:"plan"`
-	Days      int    `json:"days"`
-	Telescope []int  `json:"telescope"`
-	Honeypot  []int  `json:"honeypot"`
-	Combined  []int  `json:"combined"`
+	Plan      string        `json:"plan"`
+	Days      int           `json:"days"`
+	Telescope []int         `json:"telescope"`
+	Honeypot  []int         `json:"honeypot"`
+	Combined  []int         `json:"combined"`
+	Degraded  *degradedJSON `json:"degraded,omitempty"`
 }
 
 // figure5Response is Figure 5's combined daily series restricted to
@@ -45,6 +47,7 @@ type figure5Response struct {
 	Days          int                `json:"days"`
 	MediumPlus    []int              `json:"medium_plus"`
 	MeanIntensity map[string]float64 `json:"mean_intensity"`
+	Degraded      *degradedJSON      `json:"degraded,omitempty"`
 }
 
 // figureBin is one histogram bin of Figure 6.
@@ -57,9 +60,10 @@ type figureBin struct {
 // histogram of attacks per unique target — how concentrated repeated
 // targeting is.
 type figure6Response struct {
-	Plan    string      `json:"plan"`
-	Targets int         `json:"targets"`
-	Bins    []figureBin `json:"bins"`
+	Plan     string        `json:"plan"`
+	Targets  int           `json:"targets"`
+	Bins     []figureBin   `json:"bins"`
+	Degraded *degradedJSON `json:"degraded,omitempty"`
 }
 
 // figure7Response is the attack-plane Figure 7: daily unique targets,
@@ -73,6 +77,7 @@ type figure7Response struct {
 	PeakDays      []int              `json:"peak_days"`
 	PeakValues    []int              `json:"peak_values"`
 	MeanIntensity map[string]float64 `json:"mean_intensity"`
+	Degraded      *degradedJSON      `json:"degraded,omitempty"`
 }
 
 func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
@@ -85,16 +90,17 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	fig := r.PathValue("fig")
-	var compute func() (any, error)
+	ctx := r.Context()
+	var compute func() (any, bool, error)
 	switch fig {
 	case "1":
-		compute = func() (any, error) { return s.figure1(p) }
+		compute = func() (any, bool, error) { return s.figure1(ctx, p) }
 	case "5":
-		compute = func() (any, error) { return s.figure5(p) }
+		compute = func() (any, bool, error) { return s.figure5(ctx, p) }
 	case "6":
-		compute = func() (any, error) { return s.figure6(p) }
+		compute = func() (any, bool, error) { return s.figure6(ctx, p) }
 	case "7":
-		compute = func() (any, error) { return s.figure7(p) }
+		compute = func() (any, bool, error) { return s.figure7(ctx, p) }
 	default:
 		writeError(w, http.StatusNotFound, fmt.Sprintf("no figure %q: serving 1, 5, 6, 7", fig))
 		return
@@ -103,29 +109,35 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 }
 
 // figure1 answers from the count indexes alone: one CountByDay plan
-// per panel, fanned to every backend.
-func (s *Server) figure1(p attack.Plan) (any, error) {
+// per panel, fanned to every backend. A backend that misses any panel
+// marks the whole figure degraded — the panels must describe the same
+// backend subset to be comparable.
+func (s *Server) figure1(ctx context.Context, p attack.Plan) (any, bool, error) {
+	var merged []attack.BackendStatus
 	panel := func(src int8) ([]int, error) {
 		pp := p
 		pp.Source = src
-		return attack.QueryPlan(pp, s.backends...).CountByDay()
+		days, statuses, err := s.fedCountByDay(ctx, pp)
+		merged = mergeStatuses(merged, statuses)
+		return days, err
 	}
 	tel, err := panel(int8(attack.SourceTelescope))
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	hp, err := panel(int8(attack.SourceHoneypot))
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	comb, err := panel(-1)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
+	d := degradedFrom(merged)
 	return figure1Response{
 		Plan: p.EncodeString(), Days: attack.WindowDays,
-		Telescope: tel, Honeypot: hp, Combined: comb,
-	}, nil
+		Telescope: tel, Honeypot: hp, Combined: comb, Degraded: d,
+	}, d != nil, nil
 }
 
 // meanIntensity computes the per-source mean intensity over the
@@ -156,10 +168,10 @@ func meanJSON(mean [attack.NumSources]float64) map[string]float64 {
 // figure5 fetches the matching events once (remote backends ship one
 // segment) and runs two passes over the local partials: means, then
 // the medium-plus daily tally.
-func (s *Server) figure5(p attack.Plan) (any, error) {
-	stores, closer, err := attack.QueryPlan(p, s.backends...).Stores()
+func (s *Server) figure5(ctx context.Context, p attack.Plan) (any, bool, error) {
+	stores, statuses, closer, err := s.fedStores(ctx, p)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	defer closer.Close()
 	mean := meanIntensity(p, stores)
@@ -172,17 +184,18 @@ func (s *Server) figure5(p attack.Plan) (any, error) {
 			days[d]++
 		}
 	}
+	d := degradedFrom(statuses)
 	return figure5Response{
 		Plan: p.EncodeString(), Days: attack.WindowDays,
-		MediumPlus: days, MeanIntensity: meanJSON(mean),
-	}, nil
+		MediumPlus: days, MeanIntensity: meanJSON(mean), Degraded: d,
+	}, d != nil, nil
 }
 
 // figure6 tallies events per unique target and log-bins the counts.
-func (s *Server) figure6(p attack.Plan) (any, error) {
-	it, closer, err := attack.QueryPlan(p, s.backends...).Iter()
+func (s *Server) figure6(ctx context.Context, p attack.Plan) (any, bool, error) {
+	it, statuses, closer, err := s.fedIter(ctx, p)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	defer closer.Close()
 	perTarget := make(map[netx.Addr]int)
@@ -198,16 +211,17 @@ func (s *Server) figure6(p attack.Plan) (any, error) {
 	for k, n := range h.Counts {
 		bins[k] = figureBin{Bin: h.BinLabel(k), Count: n}
 	}
-	return figure6Response{Plan: p.EncodeString(), Targets: len(perTarget), Bins: bins}, nil
+	d := degradedFrom(statuses)
+	return figure6Response{Plan: p.EncodeString(), Targets: len(perTarget), Bins: bins, Degraded: d}, d != nil, nil
 }
 
 // figure7 builds the daily unique-target series (overall and
 // medium-plus) plus the four peak days, mirroring core.Figure7's
 // attack-plane half: a target counts once per day it is attacked.
-func (s *Server) figure7(p attack.Plan) (any, error) {
-	stores, closer, err := attack.QueryPlan(p, s.backends...).Stores()
+func (s *Server) figure7(ctx context.Context, p attack.Plan) (any, bool, error) {
+	stores, statuses, closer, err := s.fedStores(ctx, p)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	defer closer.Close()
 	mean := meanIntensity(p, stores)
@@ -243,14 +257,15 @@ func (s *Server) figure7(p attack.Plan) (any, error) {
 		}
 		return cmp.Compare(a.day, b.day)
 	})
+	d := degradedFrom(statuses)
 	res := figure7Response{
 		Plan: p.EncodeString(), Days: attack.WindowDays,
 		DailyTargets: dailyAll, DailyMedium: dailyMed,
-		MeanIntensity: meanJSON(mean),
+		MeanIntensity: meanJSON(mean), Degraded: d,
 	}
 	for i := 0; i < 4 && i < len(peaks); i++ {
 		res.PeakDays = append(res.PeakDays, peaks[i].day)
 		res.PeakValues = append(res.PeakValues, peaks[i].v)
 	}
-	return res, nil
+	return res, d != nil, nil
 }

@@ -9,6 +9,7 @@ import (
 	"strconv"
 
 	"doscope/internal/attack"
+	"doscope/internal/federation"
 	"doscope/internal/netx"
 )
 
@@ -36,11 +37,54 @@ func intParam(v url.Values, key string, def, min, max int) (int, error) {
 	return n, nil
 }
 
-// handleHealthz answers liveness probes. It touches no backend and
-// bypasses every gate, so it keeps answering while the server sheds
-// load.
+// healthzSite is one remote backend's circuit-breaker view in
+// /healthz: which site, and whether the breaker currently has it out
+// of rotation.
+type healthzSite struct {
+	Backend  int    `json:"backend"`
+	Addr     string `json:"addr"`
+	Breaker  string `json:"breaker"` // "closed", "open", "half-open"
+	Failures int    `json:"failures,omitempty"`
+}
+
+// healthzBody is the /healthz response. ok reports liveness and stays
+// true while degraded — a front end missing a site is still worth
+// routing to; degraded tells the orchestrator a site is out.
+type healthzBody struct {
+	OK       bool          `json:"ok"`
+	Backends int           `json:"backends"`
+	Degraded bool          `json:"degraded"`
+	Sites    []healthzSite `json:"sites,omitempty"`
+}
+
+// handleHealthz answers liveness probes. It touches no backend — the
+// breaker states it reports are in-memory snapshots — and bypasses
+// every gate, so it keeps answering while the server sheds load.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, []byte(fmt.Sprintf("{\"ok\":true,\"backends\":%d}\n", len(s.backends))))
+	hz := healthzBody{OK: true, Backends: len(s.backends)}
+	for i, b := range s.backends {
+		rs, ok := b.(*federation.RemoteStore)
+		if !ok {
+			continue
+		}
+		st, on := rs.Breaker()
+		if !on {
+			continue
+		}
+		hz.Sites = append(hz.Sites, healthzSite{
+			Backend: i, Addr: rs.Addr(),
+			Breaker: st.State.String(), Failures: st.Failures,
+		})
+		if st.State != federation.BreakerClosed {
+			hz.Degraded = true
+		}
+	}
+	body, err := marshalBody(hz)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, body)
 }
 
 // handleStats serves the counter snapshot plus per-backend state.
@@ -58,8 +102,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 // countResponse is the /v1/count body.
 type countResponse struct {
-	Plan  string `json:"plan"`
-	Count int    `json:"count"`
+	Plan     string        `json:"plan"`
+	Count    int           `json:"count"`
+	Degraded *degradedJSON `json:"degraded,omitempty"`
 }
 
 func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
@@ -67,12 +112,13 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	s.cached(w, "count", "", p, func() (any, error) {
-		n, err := attack.QueryPlan(p, s.backends...).Count()
+	s.cached(w, "count", "", p, func() (any, bool, error) {
+		n, statuses, err := s.fedCount(r.Context(), p)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
-		return countResponse{Plan: p.EncodeString(), Count: n}, nil
+		d := degradedFrom(statuses)
+		return countResponse{Plan: p.EncodeString(), Count: n, Degraded: d}, d != nil, nil
 	})
 }
 
@@ -85,8 +131,9 @@ type vectorCount struct {
 }
 
 type countByVectorResponse struct {
-	Plan   string        `json:"plan"`
-	Counts []vectorCount `json:"counts"`
+	Plan     string        `json:"plan"`
+	Counts   []vectorCount `json:"counts"`
+	Degraded *degradedJSON `json:"degraded,omitempty"`
 }
 
 func (s *Server) handleCountByVector(w http.ResponseWriter, r *http.Request) {
@@ -94,24 +141,26 @@ func (s *Server) handleCountByVector(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	s.cached(w, "count/vector", "", p, func() (any, error) {
-		counts, err := attack.QueryPlan(p, s.backends...).CountByVector()
+	s.cached(w, "count/vector", "", p, func() (any, bool, error) {
+		counts, statuses, err := s.fedCountByVector(r.Context(), p)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		rows := make([]vectorCount, attack.NumVectors)
 		for v := range counts {
 			rows[v] = vectorCount{Vector: attack.Vector(v).String(), Count: counts[v]}
 		}
-		return countByVectorResponse{Plan: p.EncodeString(), Counts: rows}, nil
+		d := degradedFrom(statuses)
+		return countByVectorResponse{Plan: p.EncodeString(), Counts: rows, Degraded: d}, d != nil, nil
 	})
 }
 
 // countByDayResponse is the /v1/count/day body: one cell per day of
 // the measurement window, index = day offset from the window start.
 type countByDayResponse struct {
-	Plan string `json:"plan"`
-	Days []int  `json:"days"`
+	Plan     string        `json:"plan"`
+	Days     []int         `json:"days"`
+	Degraded *degradedJSON `json:"degraded,omitempty"`
 }
 
 func (s *Server) handleCountByDay(w http.ResponseWriter, r *http.Request) {
@@ -119,12 +168,13 @@ func (s *Server) handleCountByDay(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	s.cached(w, "count/day", "", p, func() (any, error) {
-		days, err := attack.QueryPlan(p, s.backends...).CountByDay()
+	s.cached(w, "count/day", "", p, func() (any, bool, error) {
+		days, statuses, err := s.fedCountByDay(r.Context(), p)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
-		return countByDayResponse{Plan: p.EncodeString(), Days: days}, nil
+		d := degradedFrom(statuses)
+		return countByDayResponse{Plan: p.EncodeString(), Days: days, Degraded: d}, d != nil, nil
 	})
 }
 
@@ -141,6 +191,7 @@ type targetPrefixResponse struct {
 	GroupBits int           `json:"group_bits"`
 	Total     int           `json:"total_groups"`
 	Groups    []prefixGroup `json:"groups"`
+	Degraded  *degradedJSON `json:"degraded,omitempty"`
 }
 
 // handleCountTargetPrefix groups matching events by target block — the
@@ -166,14 +217,14 @@ func (s *Server) handleCountTargetPrefix(w http.ResponseWriter, r *http.Request)
 		return
 	}
 	extra := fmt.Sprintf("group=%d&top=%d", group, top)
-	s.cached(w, "count/target-prefix", extra, p, func() (any, error) {
+	s.cached(w, "count/target-prefix", extra, p, func() (any, bool, error) {
 		type tally struct {
 			events  int
 			targets map[netx.Addr]struct{}
 		}
-		it, closer, err := attack.QueryPlan(p, s.backends...).Iter()
+		it, statuses, closer, err := s.fedIter(r.Context(), p)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		defer closer.Close()
 		groups := make(map[netx.Addr]*tally)
@@ -205,8 +256,10 @@ func (s *Server) handleCountTargetPrefix(w http.ResponseWriter, r *http.Request)
 		if len(rows) > top {
 			rows = rows[:top]
 		}
+		d := degradedFrom(statuses)
 		return targetPrefixResponse{
 			Plan: p.EncodeString(), GroupBits: group, Total: total, Groups: rows,
-		}, nil
+			Degraded: d,
+		}, d != nil, nil
 	})
 }

@@ -12,6 +12,7 @@ type metrics struct {
 	errors        atomic.Uint64 // responses with status >= 400 (including the above)
 	cacheHits     atomic.Uint64 // responses served from the plan-keyed cache
 	cacheMisses   atomic.Uint64 // cacheable responses that had to execute
+	degraded      atomic.Uint64 // 200s that were missing some backend's partial
 	bytesStreamed atomic.Uint64 // response body bytes, all endpoints
 	inFlight      atomic.Int64  // requests currently inside a handler
 }
@@ -25,18 +26,23 @@ type statsSnapshot struct {
 	CacheHits     uint64        `json:"cache_hits"`
 	CacheMisses   uint64        `json:"cache_misses"`
 	CacheEntries  int           `json:"cache_entries"`
+	Degraded      uint64        `json:"degraded"`
 	BytesStreamed uint64        `json:"bytes_streamed"`
 	InFlight      int64         `json:"in_flight"`
 	Backends      []backendInfo `json:"backends"`
 }
 
-// backendInfo describes one backend in /v1/stats.
+// backendInfo describes one backend in /v1/stats. Remote backends with
+// a circuit breaker additionally report its state — the ops view of
+// which sites a degraded response is missing.
 type backendInfo struct {
-	Kind      string `json:"kind"` // "store" or "remote"
-	Addr      string `json:"addr,omitempty"`
-	Versioned bool   `json:"versioned"`
-	Version   uint64 `json:"version,omitempty"`
-	Events    int    `json:"events,omitempty"`
+	Kind            string `json:"kind"` // "store" or "remote"
+	Addr            string `json:"addr,omitempty"`
+	Versioned       bool   `json:"versioned"`
+	Version         uint64 `json:"version,omitempty"`
+	Events          int    `json:"events,omitempty"`
+	Breaker         string `json:"breaker,omitempty"` // "closed", "open", "half-open"
+	BreakerFailures int    `json:"breaker_failures,omitempty"`
 }
 
 func (m *metrics) snapshot() statsSnapshot {
@@ -47,6 +53,7 @@ func (m *metrics) snapshot() statsSnapshot {
 		Errors:        m.errors.Load(),
 		CacheHits:     m.cacheHits.Load(),
 		CacheMisses:   m.cacheMisses.Load(),
+		Degraded:      m.degraded.Load(),
 		BytesStreamed: m.bytesStreamed.Load(),
 		InFlight:      m.inFlight.Load(),
 	}

@@ -49,6 +49,15 @@ func (l *limiter) allow(key string) bool {
 	if !ok {
 		if len(l.clients) >= limiterClients {
 			l.prune(now)
+			// Pruning only drops fully-refilled buckets; a map full of
+			// active clients shrinks by evicting the longest-idle ones,
+			// so the cap holds however many distinct keys arrive (an
+			// address-rotating scraper must not grow the map without
+			// bound). An evicted client restarts with a full bucket —
+			// eviction can only loosen its limit, never block it.
+			for len(l.clients) >= limiterClients {
+				l.evictOldest()
+			}
 		}
 		b = &bucket{tokens: l.burst, last: now}
 		l.clients[key] = b
@@ -76,6 +85,21 @@ func (l *limiter) prune(now time.Time) {
 			delete(l.clients, k)
 		}
 	}
+}
+
+// evictOldest removes the bucket with the oldest last-seen time — the
+// client most likely gone for good. Called with the lock held and the
+// map non-empty.
+func (l *limiter) evictOldest() {
+	var oldestKey string
+	var oldest time.Time
+	first := true
+	for k, b := range l.clients {
+		if first || b.last.Before(oldest) {
+			oldestKey, oldest, first = k, b.last, false
+		}
+	}
+	delete(l.clients, oldestKey)
 }
 
 // retryAfter estimates the seconds until one token accrues — the

@@ -39,6 +39,7 @@ import (
 	"net"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"doscope/internal/attack"
@@ -58,6 +59,7 @@ type Server struct {
 	metrics  metrics
 	logger   *log.Logger
 	maxPage  int
+	strict   bool // fail-closed on any backend error (see WithStrict)
 
 	hsMu sync.Mutex
 	hs   *http.Server
@@ -242,22 +244,35 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // the cache validation vector. ok is false when any backend cannot
 // report one (then caching is skipped for the request, never unsafe).
 // Local stores answer from their published view; remote sites answer a
-// DOSFED01 version frame (8 bytes each way).
+// DOSFED01 version frame (8 bytes each way), queried concurrently so
+// the vector costs one round-trip, not one per site — and a site with
+// an open breaker rejects in memory instead of stalling the vector.
 func (s *Server) versions() ([]uint64, bool) {
 	vec := make([]uint64, len(s.backends))
+	var failed atomic.Bool
+	var wg sync.WaitGroup
 	for i, b := range s.backends {
 		switch v := b.(type) {
 		case interface{ Version() uint64 }:
 			vec[i] = v.Version()
 		case interface{ Version() (uint64, error) }:
-			ver, err := v.Version()
-			if err != nil {
-				return nil, false
-			}
-			vec[i] = ver
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ver, err := v.Version()
+				if err != nil {
+					failed.Store(true)
+					return
+				}
+				vec[i] = ver
+			}()
 		default:
-			return nil, false
+			failed.Store(true)
 		}
+	}
+	wg.Wait()
+	if failed.Load() {
+		return nil, false
 	}
 	return vec, true
 }
@@ -293,7 +308,16 @@ func marshalBody(v any) ([]byte, error) {
 // compute runs, and its marshaled result is cached under the version
 // vector observed before execution (see cacheEntry for why that
 // direction is safe).
-func (s *Server) cached(w http.ResponseWriter, endpoint, extra string, p attack.Plan, compute func() (any, error)) {
+//
+// compute additionally reports whether its result is degraded — a
+// partial answer missing some backend's contribution. Degraded bodies
+// are never cached: an entry must be a whole answer, or a site's
+// outage would be served from cache after the site recovered. (In
+// practice an unreachable site also fails the version vector, which
+// disables the cache for the whole outage — this guard is the
+// belt-and-braces for the window where versions succeeded and the
+// query then lost a site.)
+func (s *Server) cached(w http.ResponseWriter, endpoint, extra string, p attack.Plan, compute func() (any, bool, error)) {
 	versions, versioned := s.versions()
 	key := cacheKey{endpoint: endpoint, plan: p, extra: extra}
 	if s.cache != nil && versioned {
@@ -304,17 +328,20 @@ func (s *Server) cached(w http.ResponseWriter, endpoint, extra string, p attack.
 		}
 	}
 	s.metrics.cacheMisses.Add(1)
-	result, err := compute()
+	result, degraded, err := compute()
 	if err != nil {
 		writeError(w, http.StatusBadGateway, err.Error())
 		return
+	}
+	if degraded {
+		s.metrics.degraded.Add(1)
 	}
 	body, err := marshalBody(result)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	if s.cache != nil && versioned {
+	if s.cache != nil && versioned && !degraded {
 		s.cache.put(key, versions, body)
 	}
 	writeJSON(w, body)
@@ -330,6 +357,10 @@ func (s *Server) backendsInfo() []backendInfo {
 			info.Versioned, info.Version, info.Events = true, v.Version(), v.Len()
 		case *federation.RemoteStore:
 			info.Kind, info.Addr = "remote", v.Addr()
+			if st, on := v.Breaker(); on {
+				info.Breaker = st.State.String()
+				info.BreakerFailures = st.Failures
+			}
 			if ver, err := v.Version(); err == nil {
 				info.Versioned, info.Version = true, ver
 			}
