@@ -1,0 +1,79 @@
+// Command dosvet runs doscope's custom analyzer suite (internal/lint)
+// over the module: scratchescape, readpurity, errsentinel,
+// nodeprecated, and ctxflow — the machine-checked versions of the
+// store's load-bearing contracts.
+//
+// It speaks the `go vet -vettool` protocol (unitchecker), so the
+// canonical invocation is
+//
+//	go vet -vettool=$(which dosvet) ./...
+//
+// but it is also runnable standalone: invoked without unitchecker's
+// protocol arguments it re-execs itself through `go vet -vettool` so
+// the go tool computes export data for it. Analyzer selection flags
+// pass through either way:
+//
+//	go run ./cmd/dosvet ./...                 # whole suite
+//	go run ./cmd/dosvet -nodeprecated ./...   # one analyzer
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"doscope/internal/lint"
+)
+
+func main() {
+	args := os.Args[1:]
+	// unitchecker invocations: `dosvet -V=full`, `dosvet -flags`, and
+	// `dosvet [-analyzerflags...] <unit>.cfg` (go vet puts the analyzer
+	// selection flags before the cfg file) — everything else is a human
+	// at a shell.
+	if len(args) > 0 {
+		switch {
+		case args[0] == "-V=full",
+			args[0] == "-flags",
+			strings.HasSuffix(args[len(args)-1], ".cfg"):
+			unitchecker.Main(lint.Analyzers...) // does not return
+		}
+	}
+	os.Exit(standalone(args))
+}
+
+// standalone re-execs through `go vet -vettool=<self>`, defaulting to
+// the whole module when no package pattern is given.
+func standalone(args []string) int {
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dosvet: cannot locate own binary: %v\n", err)
+		return 2
+	}
+	vetArgs := []string{"vet", "-vettool=" + self}
+	vetArgs = append(vetArgs, args...)
+	havePattern := false
+	for _, a := range args {
+		if !strings.HasPrefix(a, "-") {
+			havePattern = true
+		}
+	}
+	if !havePattern {
+		vetArgs = append(vetArgs, "./...")
+	}
+	cmd := exec.Command("go", vetArgs...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "dosvet: %v\n", err)
+		return 2
+	}
+	return 0
+}

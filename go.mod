@@ -1,3 +1,11 @@
 module doscope
 
 go 1.24
+
+// Custom go/analysis lint suite (internal/lint, cmd/dosvet) builds
+// against the x/tools analysis framework vendored under third_party/
+// (copied from the Go toolchain's own cmd/vendor tree), so the module
+// needs no network access to build or vet itself.
+require golang.org/x/tools v0.30.0
+
+replace golang.org/x/tools => ./third_party/golang.org/x/tools

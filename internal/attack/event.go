@@ -10,6 +10,7 @@ package attack
 
 import (
 	"fmt"
+	"slices"
 	"time"
 
 	"doscope/internal/netx"
@@ -153,6 +154,18 @@ type Event struct {
 // classifier only needs single- vs multi-port discrimination plus the
 // top-port identity, matching the paper's Table 7/8 analyses.
 const MaxTrackedPorts = 16
+
+// Clone returns a deep copy of e that is safe to retain indefinitely.
+// The *Event yielded by Iter/IterByStart (and handed to Fold
+// accumulators) is a per-iteration scratch whose struct is reused on
+// the next yield and whose Ports alias the store's arena — Clone is
+// the one blessed way to keep an event past its callback (the
+// scratchescape analyzer in internal/lint enforces this).
+func (e *Event) Clone() *Event {
+	cp := *e
+	cp.Ports = slices.Clone(e.Ports)
+	return &cp
+}
 
 // Duration returns End-Start in seconds.
 func (e *Event) Duration() int64 { return e.End - e.Start }

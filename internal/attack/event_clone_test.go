@@ -1,0 +1,62 @@
+package attack
+
+import "testing"
+
+// TestCloneIsDeep pins the blessed retain pattern the scratchescape
+// analyzer points at: Clone must deep-copy Ports, so a retained clone
+// is immune to both scratch reuse and arena aliasing.
+func TestCloneIsDeep(t *testing.T) {
+	e := &Event{
+		Source: SourceTelescope, Vector: VectorUDP,
+		Start: WindowStart, End: WindowStart + 60,
+		Packets: 100, Bytes: 64000, MaxPPS: 12.5,
+		Ports: []uint16{53, 80, 443},
+	}
+	c := e.Clone()
+	if c == e {
+		t.Fatal("Clone returned the same pointer")
+	}
+	if &c.Ports[0] == &e.Ports[0] {
+		t.Fatal("Clone shares the Ports backing array")
+	}
+
+	// Mutating the original (scratch reuse between yields) must not
+	// reach the clone.
+	e.Start, e.Ports[0] = 0, 9999
+	if c.Start != WindowStart || c.Ports[0] != 53 {
+		t.Fatalf("clone changed with its source: start=%d ports=%v", c.Start, c.Ports)
+	}
+	if len(c.Ports) != 3 || c.Ports[1] != 80 || c.Ports[2] != 443 {
+		t.Fatalf("clone ports = %v, want [53 80 443]", c.Ports)
+	}
+}
+
+// TestCloneSurvivesIteration retains clones across a live Iter pass
+// and checks they match a materialized snapshot — the exact usage the
+// contract prescribes.
+func TestCloneSurvivesIteration(t *testing.T) {
+	st := NewStore(nil)
+	for i := 0; i < 100; i++ {
+		st.Add(Event{
+			Start: WindowStart + int64(i)*3600, End: WindowStart + int64(i)*3600 + 60,
+			Packets: uint64(i), Ports: []uint16{uint16(i), uint16(i + 1)},
+		})
+	}
+	var kept []*Event
+	for e := range st.Query().Iter() {
+		kept = append(kept, e.Clone())
+	}
+	want := st.Query().Events()
+	if len(kept) != len(want) {
+		t.Fatalf("kept %d events, want %d", len(kept), len(want))
+	}
+	for i, e := range kept {
+		if e.Start != want[i].Start || e.Packets != want[i].Packets {
+			t.Fatalf("event %d: got (%d,%d), want (%d,%d)",
+				i, e.Start, e.Packets, want[i].Start, want[i].Packets)
+		}
+		if len(e.Ports) != len(want[i].Ports) {
+			t.Fatalf("event %d: ports %v, want %v", i, e.Ports, want[i].Ports)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// ErrSentinel enforces the PR 7 degraded-mode error contract on the
+// federation and httpapi packages: callers classify backend outcomes
+// with errors.Is against sentinels (attack.ErrBackendSkipped, wrapped
+// by federation.ErrCircuitOpen), so every error that travels those
+// paths must preserve its chain. The analyzer flags:
+//
+//   - fmt.Errorf calls that format an error argument with any verb but
+//     %w — %v/%s flatten the chain and silently break statusFor's
+//     ok/failed/skipped split,
+//   - errors.New inside a function body — such errors are born
+//     unclassifiable; declare a package-level sentinel (allowed) or
+//     wrap an existing one with fmt.Errorf("...: %w", ...).
+//
+// Test files are exempt: ad-hoc errors are how tests build fixtures.
+var ErrSentinel = &analysis.Analyzer{
+	Name: "errsentinel",
+	Doc: "flags un-wrapped errors (fmt.Errorf without %w, in-body errors.New) " +
+		"on the federation/httpapi paths classified via errors.Is",
+	Run: runErrSentinel,
+}
+
+func runErrSentinel(pass *analysis.Pass) (any, error) {
+	switch pass.Pkg.Name() {
+	case "federation", "httpapi":
+	default:
+		return nil, nil
+	}
+	rep := newReporter(pass)
+	errType := types.Universe.Lookup("error").Type()
+
+	for _, f := range pass.Files {
+		if inTestFile(pass, f.Pos()) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// func init is sentinel wiring, not a request path.
+			if fd.Recv == nil && fd.Name.Name == "init" {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pass, call)
+				switch {
+				case isPkgFunc(fn, "errors", "New"):
+					rep.reportf(call.Pos(), "errors.New inside a function creates an error "+
+						"no errors.Is sentinel check can classify; declare a package-level "+
+						"sentinel or wrap one with fmt.Errorf(\"...: %%w\", ...)")
+				case isPkgFunc(fn, "fmt", "Errorf"):
+					checkErrorfVerbs(pass, rep, call, errType)
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+// checkErrorfVerbs matches each format verb against its argument and
+// flags error-typed arguments formatted with anything but %w.
+func checkErrorfVerbs(pass *analysis.Pass, rep *reporter, call *ast.CallExpr, errType types.Type) {
+	if len(call.Args) < 2 {
+		return
+	}
+	format, ok := stringConstant(pass, call.Args[0])
+	if !ok {
+		return
+	}
+	verbs := formatVerbs(format)
+	for i, arg := range call.Args[1:] {
+		if i >= len(verbs) {
+			break
+		}
+		v := verbs[i]
+		if v == 'w' || v == '*' {
+			continue
+		}
+		t := pass.TypesInfo.TypeOf(arg)
+		if t == nil || !types.AssignableTo(t, errType) {
+			continue
+		}
+		rep.reportf(arg.Pos(), "error formatted with %%%c loses its wrap chain; "+
+			"use %%w so errors.Is classification (ErrCircuitOpen, ErrBackendSkipped) keeps working", v)
+	}
+}
+
+// stringConstant evaluates e as a constant string (handles literals
+// and constant concatenation).
+func stringConstant(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// formatVerbs returns one rune per consumed variadic argument of a
+// Printf-style format: the verb letter, or '*' for a width/precision
+// argument.
+func formatVerbs(format string) []rune {
+	var out []rune
+	for i := 0; i < len(format); {
+		if format[i] != '%' {
+			i++
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			i++
+			continue
+		}
+		// flags
+		for i < len(format) && strings.ContainsRune("+-# 0", rune(format[i])) {
+			i++
+		}
+		// width
+		if i < len(format) && format[i] == '*' {
+			out = append(out, '*')
+			i++
+		} else {
+			for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+				i++
+			}
+		}
+		// precision
+		if i < len(format) && format[i] == '.' {
+			i++
+			if i < len(format) && format[i] == '*' {
+				out = append(out, '*')
+				i++
+			} else {
+				for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+					i++
+				}
+			}
+		}
+		// argument index [n] resets are rare enough to skip: treat the
+		// verb as consuming the next argument, which is the common case.
+		if i < len(format) && format[i] == '[' {
+			for i < len(format) && format[i] != ']' {
+				i++
+			}
+			if i < len(format) {
+				i++
+			}
+		}
+		if i < len(format) {
+			out = append(out, rune(format[i]))
+			i++
+		}
+	}
+	return out
+}

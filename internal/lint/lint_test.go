@@ -1,0 +1,35 @@
+package lint_test
+
+import (
+	"testing"
+
+	"doscope/internal/lint"
+	"doscope/internal/lint/linttest"
+)
+
+// Each corpus under testdata/src mixes positive cases (// want lines
+// the analyzer must flag) with a negative corpus (blessed patterns
+// that must stay clean) — an analyzer that goes blind or trigger-happy
+// fails either way.
+
+func TestScratchEscape(t *testing.T) {
+	linttest.Run(t, "testdata/src", lint.ScratchEscape, "scratch")
+}
+
+func TestReadPurity(t *testing.T) {
+	linttest.Run(t, "testdata/src", lint.ReadPurity, "readpure")
+}
+
+func TestErrSentinel(t *testing.T) {
+	linttest.Run(t, "testdata/src", lint.ErrSentinel, "errsent")
+}
+
+func TestNoDeprecated(t *testing.T) {
+	// lintdata/attack is the shim-allowlist negative corpus: ByTarget
+	// calls Events in a package named attack and must stay clean.
+	linttest.Run(t, "testdata/src", lint.NoDeprecated, "nodep", "lintdata/attack")
+}
+
+func TestCtxFlow(t *testing.T) {
+	linttest.Run(t, "testdata/src", lint.CtxFlow, "ctxflow")
+}

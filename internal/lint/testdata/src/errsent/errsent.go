@@ -1,0 +1,57 @@
+// Corpus for the errsentinel analyzer. The package is named federation
+// on purpose — the analyzer engages on the federation/httpapi paths,
+// where callers classify outcomes with errors.Is against sentinels.
+package federation
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Package-level sentinels are the blessed pattern: born once,
+// classifiable forever.
+var ErrCircuitOpen = errors.New("circuit open")
+
+var errProbe error
+
+// init wiring of sentinels is exempt.
+func init() {
+	errProbe = errors.New("probe failed")
+}
+
+// ---- violations ----
+
+func flattened(err error) error {
+	return fmt.Errorf("site a: %v", err) // want `use %w`
+}
+
+func stringified(err error) error {
+	return fmt.Errorf("site a failed (%s)", err) // want `use %w`
+}
+
+func adHoc() error {
+	return errors.New("request refused") // want `errors.New inside a function`
+}
+
+// ---- negative corpus ----
+
+func wrapped(err error) error {
+	return fmt.Errorf("site a: %w", err)
+}
+
+func doubleWrapped(err error) error {
+	return fmt.Errorf("breaker: %w (after %w)", ErrCircuitOpen, err)
+}
+
+func noErrorArgs(n int, s string) error {
+	return fmt.Errorf("bad cursor %q at offset %d", s, n)
+}
+
+func widthArgs(err error, n int) error {
+	return fmt.Errorf("%*d attempts: %w", n, 3, err)
+}
+
+func suppressed() error {
+	//dosvet:ignore errsentinel this error never reaches a classifier
+	return errors.New("one-off diagnostic")
+}

@@ -1,0 +1,46 @@
+// Corpus for the nodeprecated analyzer: type-aware detection of the
+// deprecated (*attack.Store).Events/ByTarget snapshot API.
+package nodep
+
+import "lintdata/attack"
+
+func snapshots(s *attack.Store) int {
+	evs := s.Events()  // want `deprecated`
+	_ = s.ByTarget()   // want `deprecated`
+	return len(evs)
+}
+
+// A renamed receiver no longer dodges the check — the old Makefile
+// grep only matched variables literally named st or store.
+func renamed(db *attack.Store) int {
+	return len(db.Events()) // want `deprecated`
+}
+
+// ---- negative corpus ----
+
+// The Query pipeline is the replacement.
+func modern(s *attack.Store) int {
+	n := 0
+	for e := range s.Query().Iter() {
+		_ = e.Start
+		n++
+	}
+	return n
+}
+
+// Unrelated methods that happen to share the names are not flagged.
+type metrics struct{}
+
+func (m *metrics) Events() int                { return 0 }
+func (m *metrics) ByTarget() map[uint32][]int { return nil }
+
+func unrelated(m *metrics) int {
+	_ = m.ByTarget()
+	return m.Events()
+}
+
+// A documented exception can be suppressed.
+func suppressed(s *attack.Store) int {
+	//dosvet:ignore nodeprecated migration shim, tracked in ROADMAP
+	return len(s.Events())
+}

@@ -1,0 +1,171 @@
+// Corpus for the readpurity analyzer. The package is named attack on
+// purpose — the analyzer only engages there — and reproduces the real
+// store's shape: a published-view pointer, a writer mutex, loader
+// methods (Store.view, Query.views), mutators, and query terminals.
+package attack
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type view struct {
+	length int
+}
+
+var emptyView view
+
+type Event struct {
+	Start int64
+	Ports []uint16
+}
+
+type shard struct{ start []int64 }
+
+func (sh *shard) appendRow(e *Event) { sh.start = append(sh.start, e.Start) }
+
+type Store struct {
+	mu     sync.Mutex
+	pub    atomic.Pointer[view]
+	shards []shard
+}
+
+// view is the blessed loader: the only reader of Store.pub.
+func (s *Store) view() *view {
+	if v := s.pub.Load(); v != nil {
+		return v
+	}
+	return &emptyView
+}
+
+// publish is the blessed writer of Store.pub.
+func (s *Store) publish() {
+	prev := s.pub.Load()
+	nv := &view{}
+	if prev != nil {
+		nv.length = prev.length
+	}
+	s.pub.Store(nv)
+}
+
+// Add is a mutator: locking here is fine, it is not a read path.
+func (s *Store) Add(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.shards) == 0 {
+		s.shards = make([]shard, 1)
+	}
+	s.shards[0].appendRow(&e)
+	s.publish()
+}
+
+// NewStore is a constructor: reachability stops at *Store returns.
+func NewStore(events []Event) *Store {
+	s := &Store{}
+	for _, e := range events {
+		s.Add(e)
+	}
+	return s
+}
+
+type Query struct{ stores []*Store }
+
+func (s *Store) Query() *Query { return &Query{stores: []*Store{s}} }
+
+// views is the multi-store loader; its per-store loop is the one
+// blessed loader loop.
+func (q *Query) views() []*view {
+	out := make([]*view, 0, len(q.stores))
+	for _, st := range q.stores {
+		out = append(out, st.view())
+	}
+	return out
+}
+
+// ---- clean read paths ----
+
+// Count loads once and fans out to pure helpers.
+func (q *Query) Count() int {
+	n := 0
+	for _, v := range q.views() {
+		n += countView(v)
+	}
+	return n
+}
+
+func countView(v *view) int { return v.length }
+
+// Len is one load per execution.
+func (s *Store) Len() int { return s.view().length }
+
+// Collect crosses a constructor boundary: the fresh store is private
+// and may be mutated/locked by its builder.
+func (q *Query) Collect() *Store {
+	n := 0
+	for _, v := range q.views() {
+		n += v.length
+	}
+	return NewStore(make([]Event, 0, n))
+}
+
+// ---- violations ----
+
+// badLocked takes the writer mutex on a read path.
+func (s *Store) badLocked() int {
+	s.mu.Lock()         // want `touches a sync mutex`
+	defer s.mu.Unlock() // want `touches a sync mutex`
+	return s.view().length
+}
+
+// badMutates calls a mutator from a read path.
+func (s *Store) badMutates() int {
+	n := s.view().length
+	s.Add(Event{}) // want `calls the mutator Add`
+	return n
+}
+
+// badDouble loads the published view twice in one execution.
+func (s *Store) badDouble() int {
+	a := s.view().length
+	b := s.view().length // want `more than once per execution`
+	return a + b
+}
+
+// badLoop reloads a loop-invariant receiver's view every iteration.
+func (s *Store) badLoop(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += s.view().length // want `inside a loop`
+	}
+	return total
+}
+
+// Tally is a read path whose helper mutates two hops down.
+func (q *Query) Tally() int {
+	total := 0
+	for _, v := range q.views() {
+		total += tallyHelper(q.stores[0], v.length)
+	}
+	return total
+}
+
+func tallyHelper(s *Store, n int) int {
+	s.publish() // want `calls the mutator publish`
+	return n
+}
+
+// badPub reads the published pointer outside view/publish.
+func (s *Store) badPub() int {
+	if v := s.pub.Load(); v != nil { // want `accesses Store.pub directly`
+		return v.length
+	}
+	return 0
+}
+
+// suppressed shows the escape hatch for a justified exception.
+func (s *Store) suppressed() int {
+	a := s.view().length
+	//dosvet:ignore readpurity deliberate second load in a stats probe
+	b := s.view().length
+	return a + b
+}
