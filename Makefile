@@ -8,7 +8,7 @@ GO        ?= go
 # recording BENCH_<n>.json numbers meant for comparison.
 BENCHTIME ?= 1x
 # The benchmark families whose ns/op the perf-trajectory record tracks.
-BENCH_RECORD ?= BenchmarkAgg|BenchmarkColumnarScan|BenchmarkSegmentOpen|BenchmarkLiveIngest|BenchmarkFederated|BenchmarkConcurrentQuery|BenchmarkHTTP
+BENCH_RECORD ?= BenchmarkAgg|BenchmarkColumnarScan|BenchmarkSegmentOpen|BenchmarkLiveIngest|BenchmarkMultiProducer|BenchmarkFederated|BenchmarkConcurrentQuery|BenchmarkHTTP
 
 # Pinned third-party linter versions (installed by `make lint-tools`;
 # `make lint` runs them when present and says so when not, so the
@@ -37,11 +37,11 @@ race:
 	$(GO) test -race ./...
 
 # bench runs every benchmark in the module once as a smoke check and
-# records the query/columnar/segment/live-ingest/federation/concurrency
-# /http-serving suites' ns/op into BENCH_7.json.
+# records the query/columnar/segment/live-ingest/multi-producer/federation/concurrency
+# /http-serving suites' ns/op into BENCH_9.json.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) ./... | tee bench.out
-	$(GO) run ./cmd/benchjson -match '$(BENCH_RECORD)' < bench.out > BENCH_7.json
+	$(GO) run ./cmd/benchjson -match '$(BENCH_RECORD)' < bench.out > BENCH_9.json
 	rm -f bench.out
 
 # chaos runs the degraded-mode packages under the race detector: the

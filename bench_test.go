@@ -1072,7 +1072,11 @@ func BenchmarkLiveIngestQuery(b *testing.B) {
 // BenchmarkLiveIngestAddBatch compares event-at-a-time Add against the
 // amortized AddBatch flush path (the amppot live pipeline's shape): one
 // seal and one index-delta application per touched shard per batch,
-// with a per-day count after every flush.
+// with a per-day count after every flush. The add variant runs the
+// store in queued ingest mode — the daemon's live wiring — so each Add
+// is an enqueue and the background drainer coalesces publication;
+// BENCH_5's ~168ms for this sub-benchmark was the cost of publishing a
+// view per mutation, which the MPSC ingest front exists to amortize.
 func BenchmarkLiveIngestAddBatch(b *testing.B) {
 	const nEvents = 100_000
 	const batch = 512
@@ -1080,12 +1084,17 @@ func BenchmarkLiveIngestAddBatch(b *testing.B) {
 	b.Run("add", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			st := &attack.Store{}
+			st.StartIngest(attack.IngestConfig{Tick: 0}) // drain continuously
 			for j := range evs {
 				st.Add(evs[j])
 				if (j+1)%batch == 0 {
 					benchSink = st.Query().Vectors(attack.VectorDNS).Count()
 				}
 			}
+			if err := st.Close(); err != nil {
+				b.Fatal(err)
+			}
+			benchSink = st.Len()
 		}
 	})
 	b.Run("addbatch", func(b *testing.B) {
@@ -1101,4 +1110,124 @@ func BenchmarkLiveIngestAddBatch(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkMultiProducerIngest measures aggregate ingest throughput as
+// the producer count grows — the paper's many-vantage-points regime,
+// where each sensor does real extraction work before submitting. Every
+// producer distills its share of a fixed 100k-event corpus from raw
+// per-packet observations (rawPerEvent pseudo-observations aggregated
+// into each flow event — the work amppot's collector does per victim
+// flow) and streams the events into ONE store in queued ingest mode
+// (StartIngest with a continuous drainer — the cmd/amppot live
+// regime), Close sealing the corpus. Total work is fixed across the
+// grid, so ns/op directly compares producer counts: on a multi-core
+// host the per-producer extraction parallelizes and ns/op drops
+// toward the single-drainer apply floor; on a single-core host (this
+// repo's CI container) the grid instead demonstrates the contention
+// story — ns/op holds flat from p1 to p8 because producers enqueue
+// without blocking and publication coalesces, where a design that ran
+// a full writer pass per producer batch would pay per-producer
+// penalties. The -r2 grid repeats each point under two concurrent
+// readers hammering an indexed count, the serving-while-ingesting
+// regime.
+func BenchmarkMultiProducerIngest(b *testing.B) {
+	const nEvents = 100_000
+	const batch = 64
+	const rawPerEvent = 32
+	produce := func(st *attack.Store, seed int64, n int) {
+		rng := rand.New(rand.NewSource(seed))
+		buf := make([]attack.Event, 0, batch)
+		for i := 0; i < n; i++ {
+			// Aggregate one flow of raw observations into one event:
+			// packet/byte totals, duration, peak instantaneous rate.
+			start := attack.WindowStart + rng.Int63n(attack.WindowDays*86400)
+			t := start
+			var packets, bytes uint64
+			var maxPPS float64
+			for r := 0; r < rawPerEvent; r++ {
+				gap := rng.Int63n(30) + 1
+				size := 64 + rng.Intn(1400)
+				t += gap
+				packets++
+				bytes += uint64(size)
+				if pps := 1.0 / float64(gap); pps > maxPPS {
+					maxPPS = pps
+				}
+			}
+			e := attack.Event{
+				Target:  netx.AddrFrom4(198, byte(rng.Intn(64)), byte(rng.Intn(256)), byte(rng.Intn(256))),
+				Start:   start,
+				End:     t,
+				Packets: packets,
+				Bytes:   bytes,
+			}
+			if i%2 == 0 {
+				e.Source = attack.SourceTelescope
+				e.Vector = attack.Vector(rng.Intn(4))
+				e.MaxPPS = maxPPS
+				e.Ports = []uint16{80, uint16(rng.Intn(65536))}
+			} else {
+				e.Source = attack.SourceHoneypot
+				e.Vector = attack.VectorNTP + attack.Vector(rng.Intn(8))
+				e.AvgRPS = float64(packets) / float64(t-start+1)
+			}
+			buf = append(buf, e)
+			if len(buf) == batch {
+				st.AddBatch(buf)
+				buf = make([]attack.Event, 0, batch)
+			}
+		}
+		if len(buf) > 0 {
+			st.AddBatch(buf)
+		}
+	}
+	for _, readers := range []int{0, 2} {
+		for _, producers := range []int{1, 2, 4, 8} {
+			name := fmt.Sprintf("p%d", producers)
+			if readers > 0 {
+				name = fmt.Sprintf("p%d-r%d", producers, readers)
+			}
+			b.Run(name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					st := &attack.Store{}
+					st.StartIngest(attack.IngestConfig{Tick: 0})
+					stop := make(chan struct{})
+					var rwg sync.WaitGroup
+					for r := 0; r < readers; r++ {
+						rwg.Add(1)
+						go func() {
+							defer rwg.Done()
+							for {
+								select {
+								case <-stop:
+									return
+								default:
+									benchSink = st.Query().Vectors(attack.VectorDNS).Count()
+								}
+							}
+						}()
+					}
+					var wg sync.WaitGroup
+					per := nEvents / producers
+					for p := 0; p < producers; p++ {
+						wg.Add(1)
+						go func(p int) {
+							defer wg.Done()
+							produce(st, int64(1000+p), per)
+						}(p)
+					}
+					wg.Wait()
+					if err := st.Close(); err != nil {
+						b.Fatal(err)
+					}
+					close(stop)
+					rwg.Wait()
+					if st.Len() != per*producers {
+						b.Fatalf("ingested %d events, want %d", st.Len(), per*producers)
+					}
+				}
+			})
+		}
+	}
 }

@@ -9,13 +9,15 @@
 //	       [-duration 0] [-min-requests 100] [-gap 1h] [-flush 30s]
 //	       [-serve addr] [-serve-http addr] [-strict] [-out file]
 //
-// Extraction is live: every -flush interval the fleet drains completed
-// attack events into the capture store and a status line with
-// index-served per-vector counts goes to stderr — the store absorbs
-// each batch as pending-tail appends plus index deltas and publishes it
-// atomically, so querying it between flushes never re-sorts or recounts
-// the capture. -flush 0 disables the live path and extracts everything
-// once at shutdown.
+// Extraction is live: completed attack events stream straight from the
+// collector into the capture store's concurrent ingest queue as their
+// flows close, and -flush is the store's drain tick — once per tick the
+// store's drainer coalesces everything queued and publishes ONE
+// immutable view, so flow closing never pays view-publication cost and
+// queries between ticks never re-sort or recount the capture. Each tick
+// also expires idle flows and prints a status line with index-served
+// per-vector counts to stderr. -flush 0 disables the live path and
+// extracts everything once at shutdown (synchronous store, no queue).
 //
 // -serve exposes the live capture store as a federation site on the
 // given address (host:port, or a unix socket path) speaking the DOSFED01
@@ -23,17 +25,18 @@
 // run counting queries against the store at any time — lock-free reads
 // of the store's published view, concurrent with ingest and with each
 // other, shipping index partials rather than events — or fetch the
-// capture as a DOSEVT02 segment. Every query observes a whole-flush
+// capture as a DOSEVT02 segment. Every query observes a whole-tick
 // prefix of the capture, never a partial batch. On shutdown the
 // federation listener closes and in-flight handlers drain before the
-// final flush and the -out write, so no remote fetch can observe the
-// capture mid-finalization. See docs/FORMATS.md for the wire format.
+// final flush, the store close, and the -out write, so no remote fetch
+// can observe the capture mid-finalization. See docs/FORMATS.md for the wire format.
 //
 // -serve-http exposes the same live store over the HTTP/JSON query API
 // (internal/httpapi, the dosqueryd endpoints): curl or a dashboard can
 // count, filter, and stream the capture while the honeypots ingest,
-// with counting responses cached between flushes (the store's version
-// counter invalidates on every drain). Both servers can run at once —
+// with counting responses cached between drain ticks (the store's
+// version counter moves once per published tick, invalidating exactly
+// when the capture visibly changed). Both servers can run at once —
 // they read the same lock-free published views. See docs/API.md.
 //
 // -out selects the capture sink by extension: .seg writes the mmap-able
@@ -116,14 +119,21 @@ func main() {
 		fatal(fmt.Errorf("no protocols to serve"))
 	}
 
-	// The live capture store: the flush ticker drains completed events
-	// into it while it stays queryable — each drain is one AddBatch
-	// (pending-tail appends + per-shard seal deltas), and the status
-	// line's counts come straight from the incrementally maintained
-	// indexes. No lock anywhere: the store publishes an immutable view
-	// per mutation, so the drain goroutine, the status-line queries, and
-	// any federation handler all interleave freely.
+	// The live capture store. With -flush > 0 it runs in queued ingest
+	// mode: the collector streams each completed event into the store's
+	// MPSC queue as the flow closes (an enqueue, not a publication), and
+	// the store's background drainer coalesces everything queued into
+	// ONE immutable view per -flush tick — seals at most once per
+	// touched shard, pays publication once per tick. The ticker below
+	// only expires idle flows and prints the status line. No lock
+	// anywhere: honeypot goroutines enqueue concurrently, and the
+	// status-line queries, federation handlers, and HTTP handlers all
+	// read published views lock-free.
 	store := &attack.Store{}
+	if *flushEvery > 0 {
+		store.StartIngest(attack.IngestConfig{Tick: *flushEvery})
+		fleet.StreamTo(store)
+	}
 	// -serve makes this process a federation site: handlers execute each
 	// shipped plan as a lock-free read against the live store's
 	// published view, so remote counting queries run concurrently with
@@ -176,10 +186,14 @@ func main() {
 				case <-done:
 					return
 				case <-tick.C:
+					// Expire idle flows (their events stream into the
+					// queue) and force the tick's publication so the
+					// status line reads the post-drain view.
 					n := fleet.DrainTo(store, time.Now().Unix())
 					if n == 0 {
 						continue
 					}
+					store.Flush()
 					fmt.Fprintf(os.Stderr, "amppot: live flush: +%d events (total %d, %s)\n",
 						n, store.Len(), vectorSummary(store.Query().CountByVector()))
 				}
@@ -219,7 +233,14 @@ func main() {
 	close(done)
 	flushWG.Wait()
 
+	// Final drain: close every remaining flow (streaming the events into
+	// the queue), then Close the store — its drainer publishes everything
+	// enqueued exactly once and the store reverts to synchronous mode —
+	// before the -out write, so the written file is the full capture.
 	fleet.FlushTo(store)
+	if err := store.Close(); err != nil {
+		fatal(err)
+	}
 	fmt.Fprintf(os.Stderr, "amppot: %d attack events\n", store.Len())
 	counts := store.Query().CountByVector()
 	for v := attack.VectorNTP; int(v) < attack.NumVectors; v++ {

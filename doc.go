@@ -43,25 +43,37 @@
 // shard's order index, and applies index deltas for the newly sealed
 // rows only. Physical rows never move, so (shard, row) handles stay
 // valid for the life of the store, and a from-scratch index rebuild
-// happens at most once per store lifetime. Store.AddBatch is the
-// amortized flush path the amppot live pipeline uses (Fleet.DrainTo
-// drains completed events into a queried store on a ticker; see
-// cmd/amppot -flush).
+// happens at most once per store lifetime. The amppot live pipeline
+// streams completed events into a queried store's ingest queue as
+// their flows close (Fleet.StreamTo), with cmd/amppot -flush as the
+// store's drain tick; Fleet.DrainTo/AddBatch remain the amortized
+// batch path for bulk loads.
 //
-// # Concurrency: single-writer/multi-reader publication
+// # Concurrency: MPSC ingest, published immutable views
 //
-// A Store is safe for any number of concurrent readers alongside
-// writers. Mutators serialize on an internal mutex and atomically
-// publish an immutable view (shard snapshots plus count index); every
-// query terminal loads the published view once when it starts and runs
-// lock-free against it — no read path ever takes a lock, seals a tail,
-// or mutates shard state. Readers observe whole-mutation prefixes: an
-// AddBatch becomes visible all at once, never partially. Terminals
+// A Store is safe for any number of concurrent producers and any
+// number of concurrent readers. Producers (Add/AddBatch) enqueue into
+// a bounded MPSC ingest queue; a single drainer applies every queued
+// batch in enqueue order, seals each touched shard at most once, and
+// atomically publishes ONE immutable view (shard snapshots plus count
+// index) covering all of them — so publication cost is paid per drain,
+// not per mutation, and concurrent producers coalesce instead of
+// serializing on full writer passes. The zero-value store drains
+// synchronously (AddBatch returns published: read-your-writes);
+// StartIngest switches to a background drainer publishing once per
+// tick, with Flush as the visibility barrier and Close as the
+// exactly-once final drain — the cmd/amppot live pipeline runs this
+// way, with -flush as the tick. Every query terminal loads the
+// published view once when it starts and runs lock-free against it —
+// no read path ever takes a lock, seals a tail, or mutates shard
+// state. Readers observe whole-batch prefixes of the enqueue order: an
+// AddBatch becomes visible all at once, never partially, and a drain
+// that coalesced several batches publishes them as one step. Terminals
 // that need sorted order merge pending tails on the fly through a
 // read-only cursor instead of sealing, and the lazy index builds are
 // once-per-lifetime: the first reader that needs an index builds it
 // against its own snapshot and the writer adopts it on the next
-// mutation. This is what lets cmd/amppot drain, query, and serve its
+// mutation. This is what lets cmd/amppot stream, query, and serve its
 // capture with no store mutex, and federation.Server run concurrent
 // handlers over a live store.
 //

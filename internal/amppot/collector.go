@@ -15,6 +15,7 @@ type Collector struct {
 	cfg    Config
 	flows  map[flowKey]*reqFlow
 	events []attack.Event
+	sink   func(attack.Event)
 }
 
 type flowKey struct {
@@ -60,6 +61,13 @@ func (c *Collector) Add(o Observation) {
 	}
 }
 
+// SetSink routes every event extracted from a closing flow directly
+// into fn instead of the internal buffer. The live pipeline points fn
+// at a store's concurrent ingest front (attack.Store.Add), so events
+// stream out as flows close and there is no drain-time batch to carry;
+// Drain returns nil while a sink is set.
+func (c *Collector) SetSink(fn func(attack.Event)) { c.sink = fn }
+
 func (c *Collector) closeFlow(key flowKey, f *reqFlow) {
 	delete(c.flows, key)
 	if !c.cfg.Accept(f.requests) {
@@ -73,7 +81,7 @@ func (c *Collector) closeFlow(key flowKey, f *reqFlow) {
 	if den < 1 {
 		den = 1
 	}
-	c.events = append(c.events, attack.Event{
+	ev := attack.Event{
 		Source:  attack.SourceHoneypot,
 		Vector:  key.vector,
 		Target:  key.victim,
@@ -82,7 +90,12 @@ func (c *Collector) closeFlow(key flowKey, f *reqFlow) {
 		Packets: f.requests,
 		Bytes:   f.bytes,
 		AvgRPS:  float64(f.requests) / float64(den),
-	})
+	}
+	if c.sink != nil {
+		c.sink(ev)
+		return
+	}
+	c.events = append(c.events, ev)
 }
 
 // CloseIdle closes flows idle beyond the gap timeout as of time now.

@@ -27,6 +27,7 @@ type Fleet struct {
 
 	mu        sync.Mutex
 	collector *Collector
+	streamed  int // events sent through a StreamTo sink
 }
 
 // NewFleet builds the 24-instance deployment.
@@ -76,37 +77,60 @@ func (f *Fleet) Events() []attack.Event {
 	return f.collector.Events()
 }
 
-// DrainTo closes flows idle as of now and appends every event extracted
-// since the last drain to st in one AddBatch: the store absorbs the
-// flush as pending-tail appends plus at most one seal per touched
-// shard, publishes the batch atomically, and keeps answering queries
-// from its incrementally maintained indexes. It returns the number of
-// events appended.
+// StreamTo routes every event the collector extracts straight into
+// st's concurrent ingest front as the flow closes, instead of
+// buffering it for the next DrainTo. With the store in queued ingest
+// mode (attack.Store.StartIngest) the hand-off is an enqueue — the
+// store's drainer coalesces everything extracted during a tick into
+// one publication — so flow closing never pays view-publication cost
+// and there is no drain-time batch to carry. DrainTo/FlushTo keep
+// working: they close flows (streaming the results) and report how
+// many events were extracted.
+func (f *Fleet) StreamTo(st *attack.Store) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.collector.SetSink(func(ev attack.Event) {
+		st.Add(ev)
+		f.streamed++
+	})
+}
+
+// DrainTo closes flows idle as of now and hands every event extracted
+// since the last drain to st — as one AddBatch (buffered mode), or by
+// having already streamed them as the flows closed (after StreamTo).
+// Either way a batch lands in the store's ingest front and publishes
+// atomically with the store's drain cadence. It returns the number of
+// events extracted.
 //
 // DrainTo serializes against the fleet's collector internally, and the
-// store needs no external lock either: its mutators serialize on an
-// internal mutex and its query paths are lock-free reads of the
+// store needs no external lock either: its ingest front is safe for
+// concurrent producers and its query paths are lock-free reads of the
 // published view, so other goroutines may query st (or drain into it)
 // concurrently.
 func (f *Fleet) DrainTo(st *attack.Store, now int64) int {
 	f.mu.Lock()
+	before := f.streamed
 	f.collector.CloseIdle(now)
 	evs := f.collector.Drain()
+	n := len(evs) + f.streamed - before
 	f.mu.Unlock()
 	st.AddBatch(evs)
-	return len(evs)
+	return n
 }
 
-// FlushTo closes ALL open flows (ending the capture) and appends the
-// remaining extracted events to st, returning how many were appended.
-// The terminal counterpart of DrainTo.
+// FlushTo closes ALL open flows (ending the capture) and hands the
+// remaining extracted events to st, returning how many were extracted.
+// The terminal counterpart of DrainTo. If st ingests in queued mode,
+// follow with st.Flush or st.Close before reading the final corpus.
 func (f *Fleet) FlushTo(st *attack.Store) int {
 	f.mu.Lock()
+	before := f.streamed
 	f.collector.Flush()
 	evs := f.collector.Drain()
+	n := len(evs) + f.streamed - before
 	f.mu.Unlock()
 	st.AddBatch(evs)
-	return len(evs)
+	return n
 }
 
 // FlushStore closes open flows and returns all extracted events as an

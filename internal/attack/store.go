@@ -11,6 +11,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"doscope/internal/netx"
 )
@@ -292,13 +293,20 @@ func (v *view) tgtFor() [][]int32 {
 // deprecated compatibility shim.
 //
 // Concurrency: a Store is safe for any number of concurrent readers
-// alongside writers. Mutators (Add, AddBatch, Seal) serialize on an
-// internal mutex, mutate writer-private state, and atomically publish an
-// immutable view; every query terminal runs lock-free against the view
-// current when it started, so a reader observes a clean prefix of whole
-// mutations — an AddBatch becomes visible all at once, never partially —
-// and no read path ever takes a lock, seals a tail, or mutates shard
-// state.
+// alongside any number of concurrent writers. Mutations route through
+// an MPSC ingest queue (see ingest.go): producers enqueue whole
+// batches, and a single drainer applies every queued batch, seals each
+// touched shard at most once, and atomically publishes ONE immutable
+// view covering all of them. By default the drainer role is taken
+// inline by a producer, so Add/AddBatch still return only after their
+// batch is published (read-your-writes), with concurrent producers'
+// batches coalescing into one publication; after StartIngest a
+// background drainer publishes once per tick instead and producers
+// only enqueue. Either way batches apply in enqueue order — one
+// serialization of the producers' batch sequences — every published
+// view covers a whole-batch prefix of that order (an AddBatch becomes
+// visible all at once, never partially), and no read path ever takes a
+// lock, seals a tail, or mutates shard state.
 type Store struct {
 	// pub is the published immutable view readers load. It is only ever
 	// swapped by a writer holding mu.
@@ -339,6 +347,29 @@ type Store struct {
 	// either: tests assert both stay put under pure query traffic.
 	rebuilds atomic.Uint64
 	sealOps  atomic.Uint64
+
+	// MPSC ingest front (see ingest.go). qmu guards the queue fields;
+	// it is held only for enqueue/snapshot bookkeeping, never during
+	// apply or publication. drainSem is the cap-1 drainer-role token:
+	// whoever holds it is the one goroutine draining the queue.
+	qmu       sync.Mutex
+	qcond     *sync.Cond      // backpressure: signaled when a drain frees space
+	queue     []*pendingBatch // enqueued batches, in arrival order
+	queued    int             // events enqueued, not yet published
+	maxQueue  int             // backpressure bound (events); set by ensureIngest
+	drainSem  chan struct{}
+	drainKick chan struct{} // wakes the background drainer ahead of its tick
+	drainTick time.Duration
+	drainStop chan struct{}
+	drainerWG sync.WaitGroup
+	drainerOn bool // queued mode active (guarded by qmu)
+	ingClosed bool // Close called; store reverted to synchronous mode
+
+	// ingDrains counts drains that applied at least one batch;
+	// ingCoalesced counts batches applied (their ratio is the
+	// combining factor /v1/stats reports).
+	ingDrains    atomic.Uint64
+	ingCoalesced atomic.Uint64
 }
 
 // view returns the current published snapshot (an empty one for a store
@@ -502,59 +533,56 @@ func (s *Store) publish() {
 	s.pub.Store(nv)
 }
 
-// Add appends an event to its shard's pending tail and publishes a new
-// view making it visible to every subsequent query. The shard is sealed
-// automatically once the tail reaches sealTailMax rows; until then the
+// Add appends one event through the ingest queue. In synchronous mode
+// (the default) it returns once the event is published — visible to
+// every subsequent query — possibly coalesced into one publication
+// with other producers' concurrent batches; in queued mode (after
+// StartIngest) it enqueues and returns, and the event publishes on the
+// next drain tick. The event parks in its shard's pending tail, which
+// seals automatically once it reaches sealTailMax rows; until then the
 // row is served by a linear tail scan. No index is invalidated and
-// nothing is re-sorted: the append itself is O(1) plus one shard
-// snapshot for publication, and the amortized seal share is bounded by
-// the size of one day-range shard over sealTailMax (see sealTailMax),
-// not by the store.
+// nothing is re-sorted (see sealTailMax).
 func (s *Store) Add(e Event) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.beginWrite()
-	si := s.ingest(&e)
-	s.length++
-	s.version++
-	if s.shards[si].tail() >= sealTailMax {
-		s.sealShard(si)
-	}
-	s.publish()
+	s.AddBatch([]Event{e})
 }
 
-// AddBatch appends a batch of events, checking the seal threshold once
-// per shard after the whole batch instead of once per event: a shard
-// that receives many batch rows is merged and index-delta'd once,
-// amortizing the per-shard seal work across the batch. The batch is
-// published atomically — concurrent readers see either none or all of
-// it. This is the preferred ingest path for periodic flushes (e.g. the
-// amppot live pipeline); small flushes simply park in the pending
-// tails, which every query sees.
+// AddBatch appends a batch of events through the ingest queue. The
+// batch is published atomically — concurrent readers see either none
+// or all of it, and batches land in enqueue order. In synchronous mode
+// (the default) AddBatch returns only after publication; concurrent
+// batches coalesce into a single drain, which checks the seal
+// threshold once per shard for all of them and publishes one view. In
+// queued mode (after StartIngest) AddBatch enqueues and returns — the
+// store takes ownership of the slice until the batch publishes on the
+// next drain tick, and Flush is the visibility barrier. Producers
+// block only when the queue is at its backpressure bound. This is the
+// preferred ingest path for periodic flushes (e.g. the amppot live
+// pipeline); small flushes simply park in the pending tails, which
+// every query sees.
 func (s *Store) AddBatch(events []Event) {
 	if len(events) == 0 {
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.beginWrite()
-	for i := range events {
-		s.ingest(&events[i])
-	}
-	s.length += len(events)
-	s.version += uint64(len(events))
-	for si := range s.shards {
-		if s.shards[si].tail() >= sealTailMax {
-			s.sealShard(si)
+	b, async, kick := s.enqueue(events)
+	if kick {
+		select {
+		case s.drainKick <- struct{}{}:
+		default:
 		}
 	}
-	s.publish()
+	if async {
+		return
+	}
+	s.drainOrWait(b)
 }
 
-// Version counts mutations: it increments on every Add (and by the
-// batch size on AddBatch). Consumers caching results derived from a
-// store can compare versions to detect staleness instead of
-// invalidating on every call.
+// Version counts published mutations: it advances by the event count
+// of every batch a drain publishes. In synchronous mode that means
+// every Add/AddBatch moves it before returning; in queued mode it
+// moves once per drain tick, by everything the tick coalesced —
+// consumers caching results derived from a store compare versions to
+// detect staleness, so a cached body stays valid exactly until a tick
+// actually changes what queries can observe.
 func (s *Store) Version() uint64 { return s.view().version }
 
 // sealShard merges shard si's pending tail into its sorted body and
@@ -601,6 +629,8 @@ func countDelta(c *countsIndex, key uint16, start int64, by int32) {
 // Sealing is a writer-side convenience, not a query prerequisite:
 // terminals that need sorted order merge pending tails on the fly, and
 // counting terminals answer from the index plus bounded tail scans.
+// Seal covers the batches already drained into the shards; in queued
+// mode, call Flush first to drain the ingest queue as well.
 func (s *Store) Seal() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -832,6 +862,12 @@ const maxBinPorts = 255
 // (DOSEVT02) for lossless persistence of oversized lists — its
 // column-oriented layout a reader can also mmap and serve without
 // decoding.
+//
+// Like every read path, WriteBinary (and WriteSegment) serializes the
+// published view: batches still in the ingest queue of a queued-mode
+// store are not included. Call Flush (or Close, when the capture is
+// ending) first to make the file cover everything enqueued — the
+// amppot shutdown sequence does exactly that before its -out write.
 func (s *Store) WriteBinary(w io.Writer) error {
 	// One view snapshot covers both the header count and the record
 	// loop, so a concurrent writer cannot desynchronize the stream.

@@ -67,3 +67,34 @@ func TestRemoteVersion(t *testing.T) {
 		t.Fatalf("after ingest: remote version %d, store version %d (was %d)", v1, st.Version(), v0)
 	}
 }
+
+// TestRemoteVersionTickPublished pins what the version frame reports
+// for a site ingesting in queued mode: the PUBLISHED version — batches
+// sitting in the ingest queue do not move it, the drain tick does. A
+// federation client (and the HTTP response cache keyed on this handle)
+// therefore invalidates exactly when the site's visible state changed,
+// once per tick, not per enqueued mutation.
+func TestRemoteVersionTickPublished(t *testing.T) {
+	st := &attack.Store{}
+	st.StartIngest(attack.IngestConfig{Tick: time.Hour})
+	defer st.Close()
+	r := startSite(t, st)
+
+	st.AddBatch(randomEvents(rand.New(rand.NewSource(13)), 60))
+	st.AddBatch(randomEvents(rand.New(rand.NewSource(14)), 40))
+	v, err := r.Version()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0 {
+		t.Fatalf("queued batches moved the remote-visible version to %d, want 0", v)
+	}
+	st.Flush() // the tick: one publication covering both batches
+	v, err = r.Version()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 100 {
+		t.Fatalf("after the tick remote version = %d, want 100", v)
+	}
+}

@@ -1,0 +1,120 @@
+package httpapi
+
+import (
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"doscope/internal/attack"
+)
+
+// TestCacheUnderCoalescedPublication pins response-cache correctness
+// against the store's tick-based publication: between ticks the store's
+// version is unmoved, so a cached body stays valid no matter how many
+// batches are queued behind it — and the moment a tick publishes
+// (coalescing those batches into one view), the version vector changes
+// and the cached body must not be served again. Two batches landing in
+// one tick must surface as exactly one invalidation, with the response
+// jumping straight to the combined count.
+func TestCacheUnderCoalescedPublication(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	live := &attack.Store{}
+	live.AddBatch(randomEvents(rng, 200)) // synchronous seed
+	live.StartIngest(attack.IngestConfig{Tick: time.Hour})
+	defer live.Close()
+
+	s := NewServer([]attack.Queryable{live})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	var c countResponse
+	getJSON(t, ts, "/v1/count", &c)
+	if c.Count != 200 {
+		t.Fatalf("seed count %d, want 200", c.Count)
+	}
+
+	// Two batches inside one tick: enqueued, not published.
+	live.AddBatch(randomEvents(rng, 10))
+	live.AddBatch(randomEvents(rng, 5))
+
+	// Before the tick the published view is unchanged, so the cached
+	// body is still the truth — it must be a hit, not a stale miss.
+	hits0 := s.metrics.cacheHits.Load()
+	getJSON(t, ts, "/v1/count", &c)
+	if c.Count != 200 {
+		t.Fatalf("pre-tick count %d, want 200 (queued batches leaked into the view)", c.Count)
+	}
+	if hits := s.metrics.cacheHits.Load(); hits != hits0+1 {
+		t.Fatalf("pre-tick repeat was not served from cache (hits %d -> %d)", hits0, hits)
+	}
+
+	// The tick: ONE publication covering both batches. The version
+	// vector moves once; the cached body must not outlive it.
+	live.Flush()
+	misses0 := s.metrics.cacheMisses.Load()
+	getJSON(t, ts, "/v1/count", &c)
+	if c.Count != 215 {
+		t.Fatalf("post-tick count %d, want 215", c.Count)
+	}
+	if misses := s.metrics.cacheMisses.Load(); misses != misses0+1 {
+		t.Fatalf("post-tick query served stale cache (misses %d -> %d)", misses0, misses)
+	}
+
+	// The stats endpoint agrees: version jumped by both batches at once.
+	var snap statsSnapshot
+	getJSON(t, ts, "/v1/stats", &snap)
+	if len(snap.Backends) != 1 || snap.Backends[0].Version != 215 {
+		t.Fatalf("backend version after tick = %+v, want 215", snap.Backends)
+	}
+}
+
+// TestStatsIngestCounters pins the /v1/stats ingest-front fields: queue
+// depth while batches wait for a tick, drain/coalesce counters after,
+// and the async flag over the store's mode lifecycle.
+func TestStatsIngestCounters(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	live := &attack.Store{}
+	live.StartIngest(attack.IngestConfig{Tick: time.Hour})
+	defer live.Close()
+
+	ts := httptest.NewServer(NewServer([]attack.Queryable{live}))
+	defer ts.Close()
+
+	live.AddBatch(randomEvents(rng, 30))
+	live.AddBatch(randomEvents(rng, 12))
+
+	var snap statsSnapshot
+	getJSON(t, ts, "/v1/stats", &snap)
+	if len(snap.Backends) != 1 {
+		t.Fatalf("backends = %+v, want 1 store", snap.Backends)
+	}
+	b := snap.Backends[0]
+	if b.IngestQueued != 42 || b.IngestBatches != 2 || !b.IngestAsync {
+		t.Fatalf("pre-drain ingest stats = %+v, want 42 queued in 2 batches, async", b)
+	}
+	if b.Events != 0 {
+		t.Fatalf("queued events already published: %d", b.Events)
+	}
+
+	live.Flush()
+	snap = statsSnapshot{} // omitempty: zeroed fields vanish from the JSON
+	getJSON(t, ts, "/v1/stats", &snap)
+	b = snap.Backends[0]
+	if b.IngestQueued != 0 || b.IngestBatches != 0 || b.IngestDrains != 1 || b.IngestCoalesced != 2 {
+		t.Fatalf("post-drain ingest stats = %+v, want empty queue, 1 drain, 2 coalesced", b)
+	}
+	if b.Events != 42 || b.Version != 42 {
+		t.Fatalf("post-drain backend = %+v, want 42 events at version 42", b)
+	}
+
+	// Close reverts to synchronous mode; stats reflect it.
+	if err := live.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snap = statsSnapshot{}
+	getJSON(t, ts, "/v1/stats", &snap)
+	if snap.Backends[0].IngestAsync {
+		t.Fatal("store still reports async ingest after Close")
+	}
+}

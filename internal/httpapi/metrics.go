@@ -43,6 +43,16 @@ type backendInfo struct {
 	Events          int    `json:"events,omitempty"`
 	Breaker         string `json:"breaker,omitempty"` // "closed", "open", "half-open"
 	BreakerFailures int    `json:"breaker_failures,omitempty"`
+
+	// Ingest-front state for local stores (attack.Store.IngestStats):
+	// queue depth in events/batches, drain-tick and coalesced-batch
+	// counters, and whether the store ingests in queued (async) mode.
+	// The ops view of how far publication lags the producers.
+	IngestQueued    int    `json:"ingest_queued,omitempty"`
+	IngestBatches   int    `json:"ingest_batches,omitempty"`
+	IngestDrains    uint64 `json:"ingest_drains,omitempty"`
+	IngestCoalesced uint64 `json:"ingest_coalesced,omitempty"`
+	IngestAsync     bool   `json:"ingest_async,omitempty"`
 }
 
 func (m *metrics) snapshot() statsSnapshot {

@@ -355,6 +355,10 @@ func (s *Server) backendsInfo() []backendInfo {
 		switch v := b.(type) {
 		case *attack.Store:
 			info.Versioned, info.Version, info.Events = true, v.Version(), v.Len()
+			is := v.IngestStats()
+			info.IngestQueued, info.IngestBatches = is.Queued, is.Batches
+			info.IngestDrains, info.IngestCoalesced = is.Drains, is.Coalesced
+			info.IngestAsync = is.Async
 		case *federation.RemoteStore:
 			info.Kind, info.Addr = "remote", v.Addr()
 			if st, on := v.Breaker(); on {

@@ -40,6 +40,13 @@ var (
 		"Add": true, "AddBatch": true, "Seal": true, "ingest": true,
 		"beginWrite": true, "adoptLazy": true, "ownCounts": true,
 		"publish": true, "sealShard": true,
+		// The MPSC ingest front (PR 9): enqueueing, draining, and the
+		// queue lifecycle are all writer-side — a read path reaching any
+		// of them could publish (or block on) the very view it is
+		// snapshotting.
+		"enqueue": true, "drainOrWait": true, "drainAll": true,
+		"drainer": true, "ensureIngest": true, "StartIngest": true,
+		"Flush": true, "Close": true,
 	}
 	shardMutators = map[string]bool{
 		"appendRow": true, "thaw": true, "seal": true, "sealTgt": true,

@@ -68,6 +68,42 @@ func NewStore(events []Event) *Store {
 	return s
 }
 
+// ---- the MPSC ingest front (PR 9 shape) ----
+
+type pendingBatch struct{ events []Event }
+
+// enqueue, drainAll, Flush, and Close are writer-side: the drainer's
+// publication path. The analyzer treats them as mutators, so locking
+// and publishing inside them is fine — and reaching them from a read
+// path is flagged.
+func (s *Store) enqueue(events []Event) *pendingBatch {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return &pendingBatch{events: events}
+}
+
+func (s *Store) drainAll() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.shards) == 0 {
+		s.shards = make([]shard, 1)
+	}
+	s.publish()
+}
+
+func (s *Store) Flush() { s.drainAll() }
+
+func (s *Store) Close() error {
+	s.Flush()
+	return nil
+}
+
+// AddBatch routes through the queue: mutator calling mutators, clean.
+func (s *Store) AddBatch(events []Event) {
+	s.enqueue(events)
+	s.drainAll()
+}
+
 type Query struct{ stores []*Store }
 
 func (s *Store) Query() *Query { return &Query{stores: []*Store{s}} }
@@ -152,6 +188,34 @@ func (q *Query) Tally() int {
 func tallyHelper(s *Store, n int) int {
 	s.publish() // want `calls the mutator publish`
 	return n
+}
+
+// badFlushes forces a drain (a publication) from a read path.
+func (s *Store) badFlushes() int {
+	s.Flush() // want `calls the mutator Flush`
+	return s.view().length
+}
+
+// badDrains reaches the drainer's publication path from a read path,
+// one hop down.
+func (q *Query) badDrains() int {
+	n := 0
+	for _, v := range q.views() {
+		n += drainHelper(q.stores[0], v.length)
+	}
+	return n
+}
+
+func drainHelper(s *Store, n int) int {
+	s.drainAll() // want `calls the mutator drainAll`
+	return n
+}
+
+// badEnqueues: even the enqueue half (no publication of its own) is
+// writer-side — it can block on backpressure until a drain publishes.
+func (s *Store) badEnqueues() int {
+	s.enqueue(nil) // want `calls the mutator enqueue`
+	return s.view().length
 }
 
 // badPub reads the published pointer outside view/publish.
