@@ -7,8 +7,17 @@ GO        ?= go
 # BENCHTIME=1x keeps `make bench` a smoke check; raise it (e.g. 1s) when
 # recording BENCH_<n>.json numbers meant for comparison.
 BENCHTIME ?= 1x
+# BENCHCOUNT repeats every benchmark; benchjson keeps the minimum ns/op
+# across repeats, so recorded numbers track the quiet-machine floor
+# instead of whatever scheduling noise one run caught.
+BENCHCOUNT ?= 1
+# Per-package `go test` timeout for the bench run. The default 10m is
+# enough for the 1x smoke, but a recording run (BENCHTIME=10x,
+# BENCHCOUNT>1) overruns it in the root package — the packet-level
+# ablation alone costs ~20s/op.
+BENCHTIMEOUT ?= 10m
 # The benchmark families whose ns/op the perf-trajectory record tracks.
-BENCH_RECORD ?= BenchmarkAgg|BenchmarkColumnarScan|BenchmarkSegmentOpen|BenchmarkLiveIngest|BenchmarkMultiProducer|BenchmarkFederated|BenchmarkConcurrentQuery|BenchmarkHTTP
+BENCH_RECORD ?= BenchmarkAgg|BenchmarkColumnarScan|BenchmarkSegmentOpen|BenchmarkLiveIngest|BenchmarkMultiProducer|BenchmarkFederated|BenchmarkConcurrentQuery|BenchmarkHTTP|BenchmarkParallel
 
 # Pinned third-party linter versions (installed by `make lint-tools`;
 # `make lint` runs them when present and says so when not, so the
@@ -31,17 +40,21 @@ test:
 
 # race runs the suite under the race detector: the lock-free store read
 # paths (writer-vs-readers stress tests in internal/attack and
-# internal/federation), the amppot live-flush pipeline, and attack.Fold
-# are the concurrent surfaces it guards.
+# internal/federation), the amppot live-flush pipeline, and the query
+# executor are the concurrent surfaces it guards. internal/attack runs
+# again under -cpu 1,2,4 so the executor's determinism property
+# (byte-identical results at any GOMAXPROCS) is checked where worker
+# scheduling actually varies.
 race:
 	$(GO) test -race ./...
+	$(GO) test -race -cpu 1,2,4 ./internal/attack
 
 # bench runs every benchmark in the module once as a smoke check and
 # records the query/columnar/segment/live-ingest/multi-producer/federation/concurrency
-# /http-serving suites' ns/op into BENCH_9.json.
+# /http-serving/parallel-executor suites' ns/op into BENCH_10.json.
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) ./... | tee bench.out
-	$(GO) run ./cmd/benchjson -match '$(BENCH_RECORD)' < bench.out > BENCH_9.json
+	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) -count $(BENCHCOUNT) -timeout $(BENCHTIMEOUT) ./... | tee bench.out
+	$(GO) run ./cmd/benchjson -match '$(BENCH_RECORD)' < bench.out > BENCH_10.json
 	rm -f bench.out
 
 # chaos runs the degraded-mode packages under the race detector: the

@@ -506,12 +506,16 @@ func queryBenchStores(b *testing.B) (tel, hp *attack.Store) {
 			return
 		}
 		qbTel, qbHp = sc.Telescope, sc.Honeypot
-		// Warm the lazy seal and count indexes so both sides measure
-		// steady state.
+		// Warm the lazy seal, count, target-permutation, and target-
+		// bitmap indexes so both sides measure steady state.
 		qbTel.Seal()
 		qbHp.Seal()
 		qbTel.Query().Count()
 		qbHp.Query().Count()
+		qbTel.Query().TargetPrefix(0, 8).Count()
+		qbHp.Query().TargetPrefix(0, 8).Count()
+		qbTel.UniqueTargets()
+		qbHp.UniqueTargets()
 	})
 	if qbErr != nil {
 		b.Fatal(qbErr)
@@ -598,8 +602,9 @@ func BenchmarkAggVectorDayRange(b *testing.B) {
 }
 
 // BenchmarkAggDailyUniqueTargets compares the sequential full-scan daily
-// unique-target series (the Figure 1 targets panel) against the parallel
-// shard fold, which keeps per-day dedup sets shard-local.
+// unique-target series (the Figure 1 targets panel) against the bitmap
+// terminal: per-shard roaring unions and popcounts instead of hashing
+// every (day, target) stamp.
 func BenchmarkAggDailyUniqueTargets(b *testing.B) {
 	tel, hp := queryBenchStores(b)
 	telEvs, hpEvs := tel.Events(), hp.Events()
@@ -624,36 +629,53 @@ func BenchmarkAggDailyUniqueTargets(b *testing.B) {
 		}
 	})
 	b.Run("query", func(b *testing.B) {
-		type partial struct {
-			daily  []int
-			stamps map[int64]struct{}
-		}
 		for i := 0; i < b.N; i++ {
-			res := attack.Fold(attack.QueryStores(tel, hp),
-				func() partial {
-					return partial{make([]int, attack.WindowDays), make(map[int64]struct{})}
-				},
-				func(p partial, e *attack.Event) partial {
-					d := e.Day()
-					if d < 0 || d >= attack.WindowDays {
-						return p
-					}
-					key := int64(d)<<32 | int64(uint32(e.Target))
-					if _, ok := p.stamps[key]; !ok {
-						p.stamps[key] = struct{}{}
-						p.daily[d]++
-					}
-					return p
-				},
-				func(a, b partial) partial {
-					for d := range a.daily {
-						a.daily[d] += b.daily[d]
-					}
-					return a
-				})
-			benchSink = res.daily[0]
+			daily := attack.QueryStores(tel, hp).CountDistinctTargetsByDay()
+			benchSink = daily[0]
 		}
 	})
+}
+
+// BenchmarkParallelQuery sweeps the per-shard executor's worker-count
+// knob across the terminal classes that fan shard tasks over the pool:
+// a predicate count (pure scan tasks), GroupByTarget (scan + per-task
+// partial maps), Fold (scan + merge), and the daily distinct-target
+// bitmap union. On a multi-core host ns/op drops toward the merge
+// floor as workers grow; on a single-core host the grid shows the
+// pool's overhead staying flat — the win there comes from the indexes,
+// not the parallelism.
+func BenchmarkParallelQuery(b *testing.B) {
+	tel, hp := queryBenchStores(b)
+	pred := func(e *attack.Event) bool { return e.Packets%2 == 0 }
+	terminals := []struct {
+		name string
+		run  func(w int) int
+	}{
+		{"scan-count", func(w int) int {
+			return attack.QueryStores(tel, hp).Where(pred).Workers(w).Count()
+		}},
+		{"group-by-target", func(w int) int {
+			return len(attack.QueryStores(tel, hp).Workers(w).GroupByTarget())
+		}},
+		{"fold-sum", func(w int) int {
+			return int(attack.Fold(attack.QueryStores(tel, hp).Workers(w),
+				func() uint64 { return 0 },
+				func(acc uint64, e *attack.Event) uint64 { return acc + e.Packets },
+				func(a, b uint64) uint64 { return a + b }))
+		}},
+		{"distinct-daily", func(w int) int {
+			return attack.QueryStores(tel, hp).Workers(w).CountDistinctTargetsByDay()[0]
+		}},
+	}
+	for _, term := range terminals {
+		for _, w := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/workers=%d", term.name, w), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					benchSink = term.run(w)
+				}
+			})
+		}
+	}
 }
 
 // BenchmarkAblationHoneypotGap shows how the collector's gap timeout

@@ -9,6 +9,12 @@
 // Lines that are not benchmark results (the printed report sections, the
 // goos/goarch/cpu header) are ignored, except that the header fields are
 // captured into the document preamble.
+//
+// When the same benchmark name appears more than once — `go test
+// -count N`, or the same suite run across packages — the minimum
+// ns/op is kept (with that run's iterations and allocation columns):
+// repeated runs bound scheduling noise from above, so the minimum is
+// the closest observation to the code's actual cost.
 package main
 
 import (
@@ -55,6 +61,7 @@ func main() {
 	}
 
 	doc := document{Benchmarks: []result{}}
+	byName := make(map[string]int) // name -> index in doc.Benchmarks
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -88,6 +95,13 @@ func main() {
 			a, _ := strconv.ParseInt(m[5], 10, 64)
 			r.AllocsPerOp = &a
 		}
+		if i, ok := byName[r.Name]; ok {
+			if r.NsPerOp < doc.Benchmarks[i].NsPerOp {
+				doc.Benchmarks[i] = r
+			}
+			continue
+		}
+		byName[r.Name] = len(doc.Benchmarks)
 		doc.Benchmarks = append(doc.Benchmarks, r)
 	}
 	if err := sc.Err(); err != nil {

@@ -254,8 +254,8 @@ func TestReadPathsDoNotMutate(t *testing.T) {
 			if got := st.pendingRows(); got != pending0 {
 				t.Fatalf("query traffic drained pending tails %d -> %d", pending0, got)
 			}
-			if got := st.rebuilds.Load(); got > 2 {
-				t.Fatalf("query traffic built %d from-scratch indexes, want at most 2 (counts + targets)", got)
+			if got := st.rebuilds.Load(); got > 3 {
+				t.Fatalf("query traffic built %d from-scratch indexes, want at most 3 (counts + target perms + target bitmaps)", got)
 			}
 		})
 	}

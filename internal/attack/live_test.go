@@ -212,7 +212,16 @@ func TestLiveIngestNoRebuilds(t *testing.T) {
 
 	// rowRef stability: remember which events the index resolves now.
 	tq := st.Query().Target(target)
-	refs := append([]rowRef(nil), tq.targetRefs(st.view(), true)...)
+	var refs []rowRef
+	ex := tq.compile(cmRows)
+	var exScratch Event
+	for ti := range ex.tasks {
+		si := ex.tasks[ti].si
+		ex.drainTask(ti, true, &exScratch, func(_ *shard, i int) bool {
+			refs = append(refs, rowRef{int32(si), int32(i)})
+			return true
+		})
+	}
 	wantEvents := make([]Event, len(refs))
 	for i, ref := range refs {
 		st.view().shards[ref.shard].view(int(ref.row), &wantEvents[i])

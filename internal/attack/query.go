@@ -1,13 +1,7 @@
 package attack
 
 import (
-	"cmp"
 	"iter"
-	"runtime"
-	"slices"
-	"sort"
-	"sync"
-	"sync/atomic"
 
 	"doscope/internal/netx"
 )
@@ -51,6 +45,7 @@ type Query struct {
 	prefixBits int
 	hasPrefix  bool
 	pred       func(*Event) bool
+	workers    int // executor parallelism bound; 0 = GOMAXPROCS
 }
 
 // Query starts a query over this store.
@@ -208,82 +203,6 @@ func (q *Query) mayMatch(v *view, si int) bool {
 	return false
 }
 
-// targetRefs collects the (shard, row) handles of every event aimed at
-// the query's exact target: the sealed rows by binary search over the
-// per-shard by-target permutations, plus a linear scan of the pending
-// tails. When ordered, the refs are returned in (start, shard, row)
-// order — the global (Start, Target) iteration order, since targets are
-// equal and physical row order is arrival order.
-func (q *Query) targetRefs(v *view, ordered bool) []rowRef {
-	tgt := v.tgtFor()
-	var refs []rowRef
-	for si, sh := range v.shards {
-		if p := tgt[si]; len(p) > 0 {
-			lo := sort.Search(len(p), func(k int) bool { return sh.target[p[k]] >= q.prefix })
-			for k := lo; k < len(p) && sh.target[p[k]] == q.prefix; k++ {
-				refs = append(refs, rowRef{int32(si), p[k]})
-			}
-		}
-		for i := sh.sealed; i < sh.rows(); i++ {
-			if sh.target[i] == q.prefix {
-				refs = append(refs, rowRef{int32(si), int32(i)})
-			}
-		}
-	}
-	if ordered {
-		slices.SortFunc(refs, func(a, b rowRef) int {
-			if c := cmp.Compare(v.shards[a.shard].start[a.row], v.shards[b.shard].start[b.row]); c != 0 {
-				return c
-			}
-			if c := cmp.Compare(a.shard, b.shard); c != 0 {
-				return c
-			}
-			return cmp.Compare(a.row, b.row)
-		})
-	}
-	return refs
-}
-
-// forEachRow invokes fn for every matching (shard, row) of the view.
-// When ordered, rows are visited in Iter order — the sealed body
-// through each shard's order index, the pending tail merged in on the
-// fly — without sealing anything; unordered visits take the physical
-// layout. Exact-target queries walk the by-target permutations instead
-// of scanning. When the query carries a predicate, scratch holds the
-// materialized row as fn runs. fn returning false stops the walk;
-// forEachRow reports whether it ran to completion.
-func (q *Query) forEachRow(v *view, scratch *Event, ordered bool, fn func(sh *shard, i int) bool) bool {
-	if q.hasPrefix && q.prefixBits >= 32 {
-		for _, ref := range q.targetRefs(v, ordered) {
-			sh := v.shards[ref.shard]
-			i := int(ref.row)
-			if !q.matchKey(sh, i) {
-				continue
-			}
-			if q.pred != nil {
-				sh.view(i, scratch)
-				if !q.pred(scratch) {
-					continue
-				}
-			}
-			if !fn(sh, i) {
-				return false
-			}
-		}
-		return true
-	}
-	lo, hi := q.shardRange()
-	for si := lo; si <= hi && si < len(v.shards); si++ {
-		if !q.mayMatch(v, si) {
-			continue
-		}
-		if !q.scanShard(v.shards[si], scratch, ordered, fn) {
-			return false
-		}
-	}
-	return true
-}
-
 // scanShard walks one shard snapshot, in (Start, Target) order when
 // ordered (merging any pending tail on the fly) and physical order
 // otherwise. The predicate-free case keeps the pure columnar loops:
@@ -388,12 +307,10 @@ func (q *Query) forEachPendingRow(v *view, fn func(sh *shard, i int)) {
 // GroupByTarget or Events for retained results.
 func (q *Query) Iter() iter.Seq[*Event] {
 	return func(yield func(*Event) bool) {
+		ex := q.compile(cmRows)
 		var scratch Event
-		for _, v := range q.views() {
-			if v == nil || v.length == 0 {
-				continue
-			}
-			ok := q.forEachRow(v, &scratch, true, func(sh *shard, i int) bool {
+		for ti := range ex.tasks {
+			ok := ex.drainTask(ti, true, &scratch, func(sh *shard, i int) bool {
 				if q.pred == nil {
 					sh.view(i, &scratch)
 				}
@@ -480,12 +397,34 @@ func (q *Query) Events() []Event {
 // slice entry here is a private copy (its Ports still alias store arena
 // memory), so the pointers stay stable and distinct after the call —
 // safe to retain without the copy discipline scratch views require.
+//
+// Grouping fans out per shard: each task collects its shard's groups in
+// Iter order, and the per-task maps are merged in task order, so every
+// per-target slice is identical to the sequential Iter-driven build for
+// any worker count.
 func (q *Query) GroupByTarget() map[netx.Addr][]*Event {
+	ex := q.compile(cmRows)
+	parts := make([]map[netx.Addr][]*Event, len(ex.tasks))
+	runTasks(q.workers, len(ex.tasks), func(ti int) {
+		m := make(map[netx.Addr][]*Event)
+		var scratch Event
+		ex.drainTask(ti, true, &scratch, func(sh *shard, i int) bool {
+			ev := new(Event)
+			if q.pred == nil {
+				sh.view(i, ev)
+			} else {
+				*ev = scratch
+			}
+			m[ev.Target] = append(m[ev.Target], ev)
+			return true
+		})
+		parts[ti] = m
+	})
 	out := make(map[netx.Addr][]*Event)
-	for e := range q.Iter() {
-		ev := new(Event)
-		*ev = *e
-		out[ev.Target] = append(out[ev.Target], ev)
+	for _, m := range parts {
+		for t, evs := range m {
+			out[t] = append(out[t], evs...)
+		}
 	}
 	return out
 }
@@ -493,31 +432,12 @@ func (q *Query) GroupByTarget() map[netx.Addr][]*Event {
 // Count returns the number of matching events. Queries filtering only on
 // source, vector, and day range are answered from the per-day count index
 // plus a linear scan of the pending tails, without sealing or re-sorting
-// anything; exact-target queries from the by-target permutations.
-// Everything else is a columnar scan over the hot columns that
-// materializes no events (unless a predicate forces it).
+// anything; prefix queries (down to /8) from the by-target permutations.
+// Everything else compiles to per-shard columnar scan tasks over the hot
+// columns, fanned out across the worker pool, that materialize no events
+// (unless a predicate forces it).
 func (q *Query) Count() int {
-	n := 0
-	for _, v := range q.views() {
-		if v == nil || v.length == 0 {
-			continue
-		}
-		n += q.countView(v)
-	}
-	return n
-}
-
-func (q *Query) countView(v *view) int {
-	if !q.hasPrefix && q.pred == nil {
-		if n, ok := q.countViaIndex(v.countsFor(), nil); ok {
-			q.forEachPendingRow(v, func(*shard, int) { n++ })
-			return n
-		}
-	}
-	n := 0
-	var scratch Event
-	q.forEachRow(v, &scratch, false, func(*shard, int) bool { n++; return true })
-	return n
+	return q.execCounts(cmTotal).n
 }
 
 // countViaIndex answers a source/vector/day-only count over the SEALED
@@ -575,84 +495,18 @@ func (q *Query) countViaIndex(c *countsIndex, perVec *[NumVectors]int) (n int, o
 
 // CountByVector returns matching event counts per attack vector, answered
 // from the count index plus a pending-tail scan when the query has no
-// prefix or predicate filter, and from the key column otherwise. Events
-// with out-of-range vector values are not counted.
+// prefix or predicate filter, and from per-shard key-column scan tasks
+// otherwise. Events with out-of-range vector values are not counted.
 func (q *Query) CountByVector() [NumVectors]int {
-	var out [NumVectors]int
-	for _, v := range q.views() {
-		if v == nil || v.length == 0 {
-			continue
-		}
-		if !q.hasPrefix && q.pred == nil {
-			if _, ok := q.countViaIndex(v.countsFor(), &out); ok {
-				q.forEachPendingRow(v, func(sh *shard, i int) {
-					if vec := int(sh.key[i] & 0xff); vec < NumVectors {
-						out[vec]++
-					}
-				})
-				continue
-			}
-		}
-		var scratch Event
-		q.forEachRow(v, &scratch, false, func(sh *shard, i int) bool {
-			if vec := int(sh.key[i] & 0xff); vec < NumVectors {
-				out[vec]++
-			}
-			return true
-		})
-	}
-	return out
+	return q.execCounts(cmVector).vec
 }
 
 // CountByDay returns matching in-window event counts per start day
 // (length WindowDays), answered from the count index plus a pending-tail
-// scan when the query has no prefix or predicate filter, and from the
-// start column otherwise.
+// scan when the query has no prefix or predicate filter, and from
+// per-shard start-column scan tasks otherwise.
 func (q *Query) CountByDay() []int {
-	out := make([]int, WindowDays)
-	dlo, dhi := 0, WindowDays-1
-	if q.hasDays {
-		if q.dayLo > q.dayHi || q.dayHi < 0 || q.dayLo >= WindowDays {
-			return out
-		}
-		dlo, dhi = clampDay(q.dayLo), clampDay(q.dayHi)
-	}
-	for _, v := range q.views() {
-		if v == nil || v.length == 0 {
-			continue
-		}
-		if !q.hasPrefix && q.pred == nil {
-			if c := v.countsFor(); c.unindexed == 0 {
-				for d := dlo; d <= dhi; d++ {
-					for src := 0; src < 2; src++ {
-						if q.source >= 0 && int(q.source) != src {
-							continue
-						}
-						for vec := 0; vec < NumVectors; vec++ {
-							if q.vecMask != 0 && q.vecMask&(1<<vec) == 0 {
-								continue
-							}
-							out[d] += int(c.day[d][src][vec])
-						}
-					}
-				}
-				q.forEachPendingRow(v, func(sh *shard, i int) {
-					if d := DayOf(sh.start[i]); d >= 0 && d < WindowDays {
-						out[d]++
-					}
-				})
-				continue
-			}
-		}
-		var scratch Event
-		q.forEachRow(v, &scratch, false, func(sh *shard, i int) bool {
-			if d := DayOf(sh.start[i]); d >= 0 && d < WindowDays {
-				out[d]++
-			}
-			return true
-		})
-	}
-	return out
+	return q.execCounts(cmDay).day
 }
 
 // Fold runs a parallel aggregation over the matching events: one task per
@@ -689,7 +543,7 @@ func Fold[T any](q *Query, init func() T, acc func(T, *Event) T, merge func(T, T
 		}
 	}
 	partials := make([]T, len(tasks))
-	foldShard := func(ti int) {
+	runTasks(q.workers, len(tasks), func(ti int) {
 		si := tasks[ti]
 		val := init()
 		var scratch Event
@@ -700,6 +554,7 @@ func Fold[T any](q *Query, init func() T, acc func(T, *Event) T, merge func(T, T
 			if !q.mayMatch(v, si) {
 				continue
 			}
+			statTask(v, execScan)
 			sh := v.shards[si]
 			c := newMergeCursor(sh)
 			for i := c.next(); i >= 0; i = c.next() {
@@ -714,33 +569,7 @@ func Fold[T any](q *Query, init func() T, acc func(T, *Event) T, merge func(T, T
 			}
 		}
 		partials[ti] = val
-	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(tasks) {
-		workers = len(tasks)
-	}
-	if workers <= 1 {
-		for ti := range tasks {
-			foldShard(ti)
-		}
-	} else {
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					ti := int(next.Add(1)) - 1
-					if ti >= len(tasks) {
-						return
-					}
-					foldShard(ti)
-				}
-			}()
-		}
-		wg.Wait()
-	}
+	})
 	out := init()
 	for _, p := range partials {
 		out = merge(out, p)

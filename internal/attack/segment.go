@@ -76,13 +76,53 @@ var hostLittle = func() bool {
 
 // --- writer ----------------------------------------------------------
 
+// gatheredShard holds one shard's columns in physical (start, target)
+// order, ready to stream into a segment block.
+type gatheredShard struct {
+	start, end     []int64
+	packets, bts   []uint64
+	maxPPS, avgRPS []float64
+	target         []netx.Addr
+	portOff        []uint32
+	key, portLen   []uint16
+}
+
+// gatherShard resolves a shard snapshot's columns through its merged
+// permutation (a no-op for physically sorted shards). Row permutation
+// only: arena entries never move, so the (offset, length) port
+// references stay valid as written.
+func gatherShard(sh *shard) gatheredShard {
+	g := gatheredShard{
+		start: sh.start, end: sh.end, packets: sh.packets, bts: sh.bytes,
+		maxPPS: sh.maxPPS, avgRPS: sh.avgRPS, target: sh.target,
+		portOff: sh.portOff, key: sh.key, portLen: sh.portLen,
+	}
+	if perm := sh.fullOrd(); perm != nil {
+		g.start, g.end = gather(sh.start, perm), gather(sh.end, perm)
+		g.packets, g.bts = gather(sh.packets, perm), gather(sh.bytes, perm)
+		g.maxPPS, g.avgRPS = gather(sh.maxPPS, perm), gather(sh.avgRPS, perm)
+		g.target, g.key = gather(sh.target, perm), gather(sh.key, perm)
+		g.portOff, g.portLen = gather(sh.portOff, perm), gather(sh.portLen, perm)
+	}
+	return g
+}
+
+// segGatherWindow bounds how many shards' gathered column copies are
+// alive at once: the writer fans the gathers of one window over the
+// executor pool, streams the window's blocks out sequentially, releases
+// them, and moves on — parallel permutation resolution without ever
+// buffering more than a window of copied columns.
+const segGatherWindow = 8
+
 // WriteSegment writes the store in the DOSEVT02 segment format. It is
 // a pure read against the published view — safe under concurrent
 // ingest, capturing an atomic snapshot of whole mutations: shards whose
 // snapshot is not physically sorted (a live order index, or pending
 // tail rows) are gathered through a merged permutation on the way out,
 // so blocks always land physically in (start, target) order and reopen
-// with no order index at all.
+// with no order index at all. Gathers run windowed-parallel; the byte
+// stream is written strictly in shard order and is identical for any
+// GOMAXPROCS.
 func (s *Store) WriteSegment(w io.Writer) error {
 	v := s.view()
 	bw := bufio.NewWriterSize(w, 1<<16)
@@ -93,42 +133,46 @@ func (s *Store) WriteSegment(w io.Writer) error {
 	metas := make([]segMeta, numShards)
 	off := uint64(len(segMagic))
 	var pad [8]byte
-	for si := 0; si < numShards; si++ {
-		if si >= len(v.shards) || v.shards[si].rows() == 0 {
-			continue
+	var sis []int
+	for si := 0; si < numShards && si < len(v.shards); si++ {
+		if v.shards[si].rows() > 0 {
+			sis = append(sis, si)
 		}
-		sh := v.shards[si]
-		start, end, packets, bts := sh.start, sh.end, sh.packets, sh.bytes
-		maxPPS, avgRPS, target, key := sh.maxPPS, sh.avgRPS, sh.target, sh.key
-		portOff, portLen := sh.portOff, sh.portLen
-		if perm := sh.fullOrd(); perm != nil {
-			// Row permutation only: arena entries never move, the
-			// (offset, length) references stay valid as written.
-			start, end = gather(sh.start, perm), gather(sh.end, perm)
-			packets, bts = gather(sh.packets, perm), gather(sh.bytes, perm)
-			maxPPS, avgRPS = gather(sh.maxPPS, perm), gather(sh.avgRPS, perm)
-			target, key = gather(sh.target, perm), gather(sh.key, perm)
-			portOff, portLen = gather(sh.portOff, perm), gather(sh.portLen, perm)
+	}
+	gathered := make([]gatheredShard, len(sis))
+	for base := 0; base < len(sis); base += segGatherWindow {
+		n := len(sis) - base
+		if n > segGatherWindow {
+			n = segGatherWindow
 		}
-		r, a := uint64(sh.rows()), uint64(len(sh.arena))
-		metas[si] = segMeta{off, r, a}
-		if err := writeCols(bw,
-			col[int64]{start, putI64}, col[int64]{end, putI64},
-			col[uint64]{packets, putU64}, col[uint64]{bts, putU64},
-			col[float64]{maxPPS, putF64}, col[float64]{avgRPS, putF64},
-			col[netx.Addr]{target, putAddr}, col[uint32]{portOff, putU32},
-			col[uint16]{key, putU16}, col[uint16]{portLen, putU16},
-			col[uint16]{sh.arena, putU16},
-		); err != nil {
-			return err
-		}
-		size, padded := segBlockSize(r, a)
-		if padded > size {
-			if _, err := bw.Write(pad[:padded-size]); err != nil {
+		runTasks(0, n, func(ti int) {
+			gathered[base+ti] = gatherShard(v.shards[sis[base+ti]])
+		})
+		for k := base; k < base+n; k++ {
+			si := sis[k]
+			sh := v.shards[si]
+			g := &gathered[k]
+			r, a := uint64(sh.rows()), uint64(len(sh.arena))
+			metas[si] = segMeta{off, r, a}
+			if err := writeCols(bw,
+				col[int64]{g.start, putI64}, col[int64]{g.end, putI64},
+				col[uint64]{g.packets, putU64}, col[uint64]{g.bts, putU64},
+				col[float64]{g.maxPPS, putF64}, col[float64]{g.avgRPS, putF64},
+				col[netx.Addr]{g.target, putAddr}, col[uint32]{g.portOff, putU32},
+				col[uint16]{g.key, putU16}, col[uint16]{g.portLen, putU16},
+				col[uint16]{sh.arena, putU16},
+			); err != nil {
 				return err
 			}
+			size, padded := segBlockSize(r, a)
+			if padded > size {
+				if _, err := bw.Write(pad[:padded-size]); err != nil {
+					return err
+				}
+			}
+			off += padded
+			gathered[k] = gatheredShard{} // release the window's copies
 		}
-		off += padded
 	}
 	var scratch [segFooterEntry]byte
 	for _, m := range metas {

@@ -96,12 +96,19 @@ type view struct {
 	// build has been adopted). It covers exactly the sealed rows.
 	counts *countsIndex
 
-	lazyCountsOnce sync.Once
-	lazyCounts     atomic.Pointer[countsIndex]
-	lazyTgtOnce    sync.Once
-	lazyTgt        atomic.Pointer[[][]int32]
-	lazyTallyOnce  sync.Once
-	lazyTally      atomic.Pointer[[]shardTally]
+	// targets is the writer-maintained target bitmap index (nil until
+	// adopted). Like counts it covers exactly the sealed rows; pending
+	// tails are folded in at query time (see tailTargets).
+	targets *targetsIndex
+
+	lazyCountsOnce  sync.Once
+	lazyCounts      atomic.Pointer[countsIndex]
+	lazyTgtOnce     sync.Once
+	lazyTgt         atomic.Pointer[[][]int32]
+	lazyTallyOnce   sync.Once
+	lazyTally       atomic.Pointer[[]shardTally]
+	lazyTargetsOnce sync.Once
+	lazyTargets     atomic.Pointer[targetsIndex]
 }
 
 // shardTally is a read-side substitute for a shard's per-(source,
@@ -229,6 +236,49 @@ func (v *view) countsFor() *countsIndex {
 	return v.lazyCounts.Load()
 }
 
+// builtTargets is a finished reader-side target-bitmap build offered to
+// the writer for adoption, with the same per-shard sealed watermarks
+// builtCounts carries.
+type builtTargets struct {
+	t        *targetsIndex
+	sealedAt [numShards]int32
+}
+
+// targetsFor returns the target bitmap index covering the view's sealed
+// rows: the writer-maintained one when adopted, otherwise a
+// once-per-view reader-side result following exactly the countsFor
+// protocol — catch up from the registered build via per-shard watermark
+// deltas when one exists (path-copying under a fresh generation, so the
+// registered nodes stay immutable), build from scratch and register
+// otherwise.
+func (v *view) targetsFor() *targetsIndex {
+	if v.targets != nil {
+		return v.targets
+	}
+	v.lazyTargetsOnce.Do(func() {
+		var t *targetsIndex
+		if v.owner != nil {
+			if b := v.owner.builtTargets.Load(); b != nil && v.atOrAfter(&b.sealedAt) {
+				g := tgtGen.Add(1)
+				t = b.t.mut(g)
+				for si, sh := range v.shards {
+					t.addRows(g, si, sh, int(b.sealedAt[si]), sh.sealed)
+				}
+			}
+		}
+		if t == nil {
+			var sealedAt [numShards]int32
+			t, sealedAt = buildTargets(v.shards)
+			if v.owner != nil {
+				v.owner.rebuilds.Add(1)
+				v.owner.builtTargets.CompareAndSwap(nil, &builtTargets{t: t, sealedAt: sealedAt})
+			}
+		}
+		v.lazyTargets.Store(t)
+	})
+	return v.lazyTargets.Load()
+}
+
 // atOrAfter reports whether every shard of the view has sealed at least
 // up to the build watermarks — i.e. the view was published at or after
 // the state the registered build covers, so catching up only needs
@@ -329,6 +379,14 @@ type Store struct {
 	// tgtMaintained marks the per-shard by-target permutations as
 	// adopted: seals merge into them from then on.
 	tgtMaintained bool
+	// targets is the canonical target bitmap index once adopted (nil
+	// before). targetsShared marks it as referenced by a published view:
+	// the next delta application re-roots it under a fresh generation
+	// (gen-stamped path-copy-on-write — see bitmap.go), so published
+	// nodes are never rewritten.
+	targets       *targetsIndex
+	targetsShared bool
+	targetsGen    uint64
 	// shardsCounted marks the one-time writer-side counting pass over
 	// segment-opened shards as done (heap shards count incrementally
 	// from their first append).
@@ -338,8 +396,9 @@ type Store struct {
 	// waiting for writer adoption (registered by the first build to
 	// complete, from whatever view it ran against; the writer deltas
 	// them up to date when it adopts).
-	builtCounts atomic.Pointer[builtCounts]
-	builtTgt    atomic.Pointer[[][]int32]
+	builtCounts  atomic.Pointer[builtCounts]
+	builtTgt     atomic.Pointer[[][]int32]
+	builtTargets atomic.Pointer[builtTargets]
 
 	// rebuilds counts from-scratch index constructions (the once-per-
 	// lifetime lazy builds); sealOps counts shard seals. Incremental
@@ -347,6 +406,16 @@ type Store struct {
 	// either: tests assert both stay put under pure query traffic.
 	rebuilds atomic.Uint64
 	sealOps  atomic.Uint64
+
+	// Query-execution counters (see ExecStats): per-shard tasks by kind
+	// and bitmap-index hit/miss attribution for distinct-target
+	// terminals. Bumped from read paths like rebuilds — observability
+	// atomics, not store state.
+	execScanTasks   atomic.Uint64
+	execProbeTasks  atomic.Uint64
+	execBitmapTasks atomic.Uint64
+	bitmapHits      atomic.Uint64
+	bitmapMisses    atomic.Uint64
 
 	// MPSC ingest front (see ingest.go). qmu guards the queue fields;
 	// it is held only for enqueue/snapshot bookkeeping, never during
@@ -455,6 +524,35 @@ func (s *Store) adoptLazy() (adopted bool) {
 		// after the writer adopted; nothing will ever consume it.
 		s.builtCounts.Store(nil)
 	}
+	if s.targets == nil {
+		if b := s.builtTargets.Load(); b != nil {
+			t := b.t
+			g := t.gen
+			owned := false
+			for si := range s.shards {
+				sh := &s.shards[si]
+				lo := int(b.sealedAt[si])
+				if lo >= sh.sealed {
+					continue
+				}
+				if !owned {
+					g = tgtGen.Add(1)
+					t = t.mut(g)
+					owned = true
+				}
+				t.addRows(g, si, sh, lo, sh.sealed)
+			}
+			s.targets, s.targetsGen = t, g
+			// The registered root stays shared until this writer needs to
+			// mutate again post-publication; the generation fence makes
+			// that safe without tracking which nodes are shared.
+			s.targetsShared = !owned
+			s.builtTargets.Store(nil)
+			adopted = true
+		}
+	} else if s.builtTargets.Load() != nil {
+		s.builtTargets.Store(nil)
+	}
 	if !s.tgtMaintained {
 		if tg := s.builtTgt.Load(); tg != nil && len(*tg) == len(s.shards) {
 			for si := range s.shards {
@@ -484,6 +582,18 @@ func (s *Store) ownCounts() {
 	if s.countsShared {
 		s.counts = s.counts.clone()
 		s.countsShared = false
+	}
+}
+
+// ownTargets makes the canonical target bitmap index writable: if the
+// current root is shared with a published view, mutation moves to a
+// fresh generation, re-rooting the index so shared nodes are
+// path-copied on first touch instead of cloned wholesale.
+func (s *Store) ownTargets() {
+	if s.targetsShared {
+		s.targetsGen = tgtGen.Add(1)
+		s.targets = s.targets.mut(s.targetsGen)
+		s.targetsShared = false
 	}
 }
 
@@ -530,6 +640,8 @@ func (s *Store) publish() {
 		s.dirty[si] = false
 	}
 	s.countsShared = s.counts != nil
+	nv.targets = s.targets
+	s.targetsShared = s.targets != nil
 	s.pub.Store(nv)
 }
 
@@ -606,6 +718,10 @@ func (s *Store) sealShard(si int) {
 		for i := lo; i < n; i++ {
 			countDelta(s.counts, sh.key[i], sh.start[i], 1)
 		}
+	}
+	if s.targets != nil {
+		s.ownTargets()
+		s.targets.addRows(s.targetsGen, si, sh, lo, n)
 	}
 }
 
@@ -698,28 +814,16 @@ func (s *Store) ByTarget() map[netx.Addr][]int {
 }
 
 // UniqueTargets returns the number of distinct target addresses,
-// counted from the published view's target columns.
+// answered from the target bitmap index (built lazily once, maintained
+// by seal deltas) by container union and popcount.
 func (s *Store) UniqueTargets() int {
-	v := s.view()
-	seen := make(map[netx.Addr]struct{}, v.length/2+1)
-	for _, sh := range v.shards {
-		for _, t := range sh.target {
-			seen[t] = struct{}{}
-		}
-	}
-	return len(seen)
+	return s.Query().CountDistinctTargets()
 }
 
-// UniqueBlocks returns distinct /24s, /16s given the mask length.
+// UniqueBlocks returns distinct /24s, /16s given the mask length,
+// answered from the target bitmap index by prefix-group counting.
 func (s *Store) UniqueBlocks(maskBits int) int {
-	v := s.view()
-	seen := make(map[netx.Addr]struct{}, v.length)
-	for _, sh := range v.shards {
-		for _, t := range sh.target {
-			seen[t.Mask(maskBits)] = struct{}{}
-		}
-	}
-	return len(seen)
+	return s.Query().CountDistinctBlocks(maskBits)
 }
 
 // --- CSV persistence -------------------------------------------------

@@ -1,0 +1,100 @@
+package httpapi
+
+import (
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"doscope/internal/attack"
+)
+
+// condGet issues a GET with an optional If-None-Match and returns the
+// status, the response ETag, and the body.
+func condGet(t *testing.T, ts *httptest.Server, path, inm string) (int, string, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, ts.URL+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inm != "" {
+		req.Header.Set("If-None-Match", inm)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header.Get("ETag"), body
+}
+
+// TestETagRevalidation drives the conditional-request cycle on the
+// counting and figure endpoints: a fresh response carries an ETag,
+// If-None-Match with that tag revalidates to an empty 304, ingest
+// anywhere invalidates the tag, and the replacement tag differs.
+func TestETagRevalidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	live := &attack.Store{}
+	live.AddBatch(randomEvents(rng, 300))
+	s := NewServer([]attack.Queryable{live})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	for _, path := range []string{"/v1/count", "/v1/count/day?days=0-30", "/v1/figures/1"} {
+		status, etag, body := condGet(t, ts, path, "")
+		if status != http.StatusOK || etag == "" {
+			t.Fatalf("GET %s: status %d etag %q, want 200 with an ETag", path, status, etag)
+		}
+		if len(body) == 0 {
+			t.Fatalf("GET %s: empty fresh body", path)
+		}
+
+		status, etag2, body304 := condGet(t, ts, path, etag)
+		if status != http.StatusNotModified {
+			t.Fatalf("GET %s If-None-Match=%s: status %d, want 304", path, etag, status)
+		}
+		if etag2 != etag {
+			t.Fatalf("GET %s: 304 ETag %q != original %q", path, etag2, etag)
+		}
+		if len(body304) != 0 {
+			t.Fatalf("GET %s: 304 carried %d body bytes", path, len(body304))
+		}
+
+		// List and weak-comparison forms must also revalidate.
+		for _, inm := range []string{`"nope", ` + etag, "W/" + etag, "*"} {
+			if status, _, _ := condGet(t, ts, path, inm); status != http.StatusNotModified {
+				t.Fatalf("GET %s If-None-Match=%q: status %d, want 304", path, inm, status)
+			}
+		}
+	}
+
+	// The tag is bound to the version vector: ingest must invalidate it.
+	_, etag, _ := condGet(t, ts, "/v1/count", "")
+	live.AddBatch(randomEvents(rng, 10))
+	status, etagNew, body := condGet(t, ts, "/v1/count", etag)
+	if status != http.StatusOK || len(body) == 0 {
+		t.Fatalf("post-ingest conditional GET: status %d, want fresh 200", status)
+	}
+	if etagNew == etag || etagNew == "" {
+		t.Fatalf("post-ingest ETag %q did not change from %q", etagNew, etag)
+	}
+
+	// 304s are counted separately from cache hits and misses.
+	var snap statsSnapshot
+	getJSON(t, ts, "/v1/stats", &snap)
+	if snap.NotModified == 0 {
+		t.Fatal("stats report zero not_modified after 304 responses")
+	}
+
+	// Different plans for the same endpoint must not share a tag.
+	_, etagA, _ := condGet(t, ts, "/v1/count", "")
+	_, etagB, _ := condGet(t, ts, "/v1/count?vectors=ntp", "")
+	if etagA == etagB {
+		t.Fatalf("distinct plans share ETag %q", etagA)
+	}
+}

@@ -105,7 +105,7 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("no figure %q: serving 1, 5, 6, 7", fig))
 		return
 	}
-	s.cached(w, "figures/"+fig, "", p, compute)
+	s.cached(w, r, "figures/"+fig, "", p, compute)
 }
 
 // figure1 answers from the count indexes alone: one CountByDay plan

@@ -112,7 +112,7 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	s.cached(w, "count", "", p, func() (any, bool, error) {
+	s.cached(w, r, "count", "", p, func() (any, bool, error) {
 		n, statuses, err := s.fedCount(r.Context(), p)
 		if err != nil {
 			return nil, false, err
@@ -141,7 +141,7 @@ func (s *Server) handleCountByVector(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	s.cached(w, "count/vector", "", p, func() (any, bool, error) {
+	s.cached(w, r, "count/vector", "", p, func() (any, bool, error) {
 		counts, statuses, err := s.fedCountByVector(r.Context(), p)
 		if err != nil {
 			return nil, false, err
@@ -168,7 +168,7 @@ func (s *Server) handleCountByDay(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	s.cached(w, "count/day", "", p, func() (any, bool, error) {
+	s.cached(w, r, "count/day", "", p, func() (any, bool, error) {
 		days, statuses, err := s.fedCountByDay(r.Context(), p)
 		if err != nil {
 			return nil, false, err
@@ -217,7 +217,7 @@ func (s *Server) handleCountTargetPrefix(w http.ResponseWriter, r *http.Request)
 		return
 	}
 	extra := fmt.Sprintf("group=%d&top=%d", group, top)
-	s.cached(w, "count/target-prefix", extra, p, func() (any, bool, error) {
+	s.cached(w, r, "count/target-prefix", extra, p, func() (any, bool, error) {
 		type tally struct {
 			events  int
 			targets map[netx.Addr]struct{}

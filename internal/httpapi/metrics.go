@@ -12,6 +12,7 @@ type metrics struct {
 	errors        atomic.Uint64 // responses with status >= 400 (including the above)
 	cacheHits     atomic.Uint64 // responses served from the plan-keyed cache
 	cacheMisses   atomic.Uint64 // cacheable responses that had to execute
+	notModified   atomic.Uint64 // 304s from If-None-Match revalidation
 	degraded      atomic.Uint64 // 200s that were missing some backend's partial
 	bytesStreamed atomic.Uint64 // response body bytes, all endpoints
 	inFlight      atomic.Int64  // requests currently inside a handler
@@ -25,6 +26,7 @@ type statsSnapshot struct {
 	Errors        uint64        `json:"errors"`
 	CacheHits     uint64        `json:"cache_hits"`
 	CacheMisses   uint64        `json:"cache_misses"`
+	NotModified   uint64        `json:"not_modified"`
 	CacheEntries  int           `json:"cache_entries"`
 	Degraded      uint64        `json:"degraded"`
 	BytesStreamed uint64        `json:"bytes_streamed"`
@@ -53,6 +55,17 @@ type backendInfo struct {
 	IngestDrains    uint64 `json:"ingest_drains,omitempty"`
 	IngestCoalesced uint64 `json:"ingest_coalesced,omitempty"`
 	IngestAsync     bool   `json:"ingest_async,omitempty"`
+
+	// Query-execution counters for local stores (attack.Store.ExecStats):
+	// per-shard tasks by kind since process start, plus how often the
+	// distinct-target terminals were answered by bitmap union versus
+	// falling back to a scan. The ops view of whether the working set is
+	// index-served or core-saturating.
+	ExecScanTasks   uint64 `json:"exec_scan_tasks,omitempty"`
+	ExecProbeTasks  uint64 `json:"exec_probe_tasks,omitempty"`
+	ExecBitmapTasks uint64 `json:"exec_bitmap_tasks,omitempty"`
+	BitmapHits      uint64 `json:"bitmap_hits,omitempty"`
+	BitmapMisses    uint64 `json:"bitmap_misses,omitempty"`
 }
 
 func (m *metrics) snapshot() statsSnapshot {
@@ -63,6 +76,7 @@ func (m *metrics) snapshot() statsSnapshot {
 		Errors:        m.errors.Load(),
 		CacheHits:     m.cacheHits.Load(),
 		CacheMisses:   m.cacheMisses.Load(),
+		NotModified:   m.notModified.Load(),
 		Degraded:      m.degraded.Load(),
 		BytesStreamed: m.bytesStreamed.Load(),
 		InFlight:      m.inFlight.Load(),

@@ -35,9 +35,12 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"log"
 	"net"
 	"net/http"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -317,12 +320,30 @@ func marshalBody(v any) ([]byte, error) {
 // disables the cache for the whole outage — this guard is the
 // belt-and-braces for the window where versions succeeded and the
 // query then lost a site.)
-func (s *Server) cached(w http.ResponseWriter, endpoint, extra string, p attack.Plan, compute func() (any, bool, error)) {
+//
+// Versioned responses carry an ETag derived from the same cache key
+// plus the version vector, so the conditional-request path shares the
+// cache's validation rule exactly: If-None-Match matches only while no
+// backend has ingested, and then the 304 skips both execution and body
+// re-serialization. Degraded responses carry no ETag — a partial
+// answer must not validate a later whole one.
+func (s *Server) cached(w http.ResponseWriter, r *http.Request, endpoint, extra string, p attack.Plan, compute func() (any, bool, error)) {
 	versions, versioned := s.versions()
 	key := cacheKey{endpoint: endpoint, plan: p, extra: extra}
+	var etag string
+	if versioned {
+		etag = etagFor(key, versions)
+		if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatch(inm, etag) {
+			s.metrics.notModified.Add(1)
+			w.Header().Set("ETag", etag)
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+	}
 	if s.cache != nil && versioned {
 		if body, ok := s.cache.get(key, versions); ok {
 			s.metrics.cacheHits.Add(1)
+			w.Header().Set("ETag", etag)
 			writeJSON(w, body)
 			return
 		}
@@ -344,7 +365,38 @@ func (s *Server) cached(w http.ResponseWriter, endpoint, extra string, p attack.
 	if s.cache != nil && versioned && !degraded {
 		s.cache.put(key, versions, body)
 	}
+	if versioned && !degraded {
+		w.Header().Set("ETag", etag)
+	}
 	writeJSON(w, body)
+}
+
+// etagFor derives the strong ETag for one cacheable response: a hash
+// of the cache key and the backend version vector it was (or would be)
+// computed under. Identical inputs — same endpoint, same plan, same
+// versions everywhere — yield the identical tag, so a client's
+// If-None-Match revalidates across server restarts too.
+func etagFor(k cacheKey, versions []uint64) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|%s", k.endpoint, k.extra, k.plan.EncodeString())
+	for _, v := range versions {
+		fmt.Fprintf(h, "|%d", v)
+	}
+	return `"` + strconv.FormatUint(h.Sum64(), 16) + `"`
+}
+
+// etagMatch implements If-None-Match list matching. Weak tags compare
+// by their opaque value (weak comparison is all a cache validator
+// needs), and "*" matches any current representation.
+func etagMatch(header, etag string) bool {
+	for _, c := range strings.Split(header, ",") {
+		c = strings.TrimSpace(c)
+		c = strings.TrimPrefix(c, "W/")
+		if c == "*" || c == etag {
+			return true
+		}
+	}
+	return false
 }
 
 // backendsInfo describes the backend set for /v1/stats.
@@ -359,6 +411,10 @@ func (s *Server) backendsInfo() []backendInfo {
 			info.IngestQueued, info.IngestBatches = is.Queued, is.Batches
 			info.IngestDrains, info.IngestCoalesced = is.Drains, is.Coalesced
 			info.IngestAsync = is.Async
+			es := v.ExecStats()
+			info.ExecScanTasks, info.ExecProbeTasks = es.ScanTasks, es.ProbeTasks
+			info.ExecBitmapTasks = es.BitmapTasks
+			info.BitmapHits, info.BitmapMisses = es.BitmapHits, es.BitmapMisses
 		case *federation.RemoteStore:
 			info.Kind, info.Addr = "remote", v.Addr()
 			if st, on := v.Breaker(); on {

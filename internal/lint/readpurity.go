@@ -285,6 +285,14 @@ func collectCalls(pass *analysis.Pass, body ast.Node) []callsite {
 			return
 		}
 		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Executor worker bodies are func literals handed to a
+			// fan-out helper; they run as part of the enclosing
+			// declaration's execution, so their calls are attributed to
+			// it. (childNodes stops at literals for scratchescape's
+			// sake, so descend explicitly.)
+			walk(n.Body)
+			return
 		case *ast.ForStmt:
 			loops = append(loops, loopFrame{bound: map[types.Object]bool{}})
 			walk(n.Init)

@@ -226,6 +226,90 @@ func (s *Store) badPub() int {
 	return 0
 }
 
+// ---- the per-shard executor (PR 10 shape) ----
+
+// Seal is a mutator in the real store: it compacts a shard under the
+// writer lock and republishes.
+func (s *Store) Seal() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.publish()
+}
+
+// runTasks mirrors the executor's worker pool: a pure fan-out helper
+// that hands each task index to run.
+func runTasks(workers, n int, run func(ti int)) {
+	if workers <= 0 {
+		workers = 1
+	}
+	for ti := 0; ti < n; ti++ {
+		run(ti)
+	}
+}
+
+// ExecCount is the clean executor shape: one views() load before the
+// fan-out, worker bodies touching only the snapshot they were handed.
+func (q *Query) ExecCount() int {
+	vs := q.views()
+	parts := make([]int, len(vs))
+	runTasks(0, len(vs), func(ti int) {
+		parts[ti] = countView(vs[ti])
+	})
+	n := 0
+	for _, p := range parts {
+		n += p
+	}
+	return n
+}
+
+// badWorkerSeals: a worker body calling a mutator is still the read
+// path mutating — func literals attribute to the enclosing terminal.
+func (q *Query) badWorkerSeals() int {
+	vs := q.views()
+	parts := make([]int, len(vs))
+	runTasks(0, len(vs), func(ti int) {
+		q.stores[0].Seal() // want `calls the mutator Seal`
+		parts[ti] = countView(vs[ti])
+	})
+	return len(parts)
+}
+
+// badWorkerLocks takes the writer mutex inside a worker body.
+func (q *Query) badWorkerLocks() int {
+	vs := q.views()
+	parts := make([]int, len(vs))
+	runTasks(0, len(vs), func(ti int) {
+		q.stores[0].mu.Lock() // want `touches a sync mutex`
+		parts[ti] = countView(vs[ti])
+		q.stores[0].mu.Unlock() // want `touches a sync mutex`
+	})
+	return len(parts)
+}
+
+// badWorkerPub peeks at the published pointer from a worker body.
+func (q *Query) badWorkerPub() int {
+	vs := q.views()
+	n := 0
+	runTasks(0, len(vs), func(ti int) {
+		if v := q.stores[0].pub.Load(); v != nil { // want `accesses Store.pub directly`
+			n += v.length
+		}
+	})
+	return n
+}
+
+// badWorkerReload: the terminal loaded its snapshot before the
+// fan-out; a worker loading again can observe a newer publication and
+// split the execution across two snapshots.
+func (q *Query) badWorkerReload() int {
+	vs := q.views()
+	n := 0
+	runTasks(0, len(vs), func(ti int) {
+		n += len(q.views()) // want `more than once per execution`
+	})
+	return len(vs) + n
+}
+
 // suppressed shows the escape hatch for a justified exception.
 func (s *Store) suppressed() int {
 	a := s.view().length
